@@ -1,0 +1,271 @@
+// Command fractal-bench regenerates every table and figure of the paper's
+// evaluation (Section 4.4) and prints the series as tab-separated rows.
+//
+// Usage:
+//
+//	fractal-bench -exp all
+//	fractal-bench -exp fig9b -clients 1,50,100,200,300
+//	fractal-bench -exp headline
+//
+// Experiments: table1, fig9a, fig9b, fig10, fig10d, fig11a, fig11b,
+// fig11c, headline, capacity, timeline, premise, session, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fractal/internal/experiment"
+	"fractal/internal/netsim"
+	"fractal/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
+		clients = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
+		pages   = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
+		seed    = flag.Int64("seed", 0, "override workload seed")
+		edges   = flag.Int("edges", 0, "override CDN edgeserver count")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultSetupConfig()
+	if *pages > 0 {
+		cfg.Pages = *pages
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *edges > 0 {
+		cfg.Edges = *edges
+	}
+	counts, err := parseCounts(*clients)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "fractal-bench: building platform (%d pages, %d edges)...\n", cfg.Pages, cfg.Edges)
+	s, err := experiment.NewSetup(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := map[string]func() error{
+		"table1":   func() error { return runTable1(s) },
+		"fig9a":    func() error { return runFig9a(s, counts) },
+		"fig9b":    func() error { return runFig9b(s, counts) },
+		"fig10":    func() error { return runFig10(s, true) },
+		"fig10d":   func() error { return runFig10(s, false) },
+		"fig11a":   func() error { return runFig11a(s) },
+		"fig11b":   func() error { return runFig11(s, true) },
+		"fig11c":   func() error { return runFig11(s, false) },
+		"headline": func() error { return runHeadline(s) },
+		"capacity": func() error { return runCapacity(s) },
+		"timeline": func() error { return runTimeline(s) },
+		"premise":  func() error { return runPremise(cfg.Seed) },
+		"session":  func() error { return runSession(s, cfg.SessionRequests) },
+	}
+	order := []string{"table1", "fig9a", "fig9b", "fig10", "fig10d", "fig11a", "fig11b", "fig11c", "headline", "capacity", "timeline", "premise", "session"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			if err := run[id](); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", ")))
+	}
+	if err := f(); err != nil {
+		fatal(err)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func runTable1(s *experiment.Setup) error {
+	header("Table 1: functions and implementations of PADs")
+	rows, err := experiment.RunTable1(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("pad\tfunction\timplementation\tmodule_bytes")
+	for _, r := range rows {
+		fmt.Printf("%s\t%s\t%s\t%d\n", r.Name, r.Function, r.Implementation, r.ModuleBytes)
+	}
+	return nil
+}
+
+func runFig9a(s *experiment.Setup, counts []int) error {
+	header("Figure 9(a): average negotiation time vs clients (real TCP)")
+	r, err := experiment.RunFig9a(s, counts)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runFig9b(s *experiment.Setup, counts []int) error {
+	header("Figure 9(b): PAD retrieval time, centralized vs CDN (simulated)")
+	r, err := experiment.RunFig9b(s, counts)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runFig10(s *experiment.Setup, includeServer bool) error {
+	if includeServer {
+		header("Figure 10(a-c): computing overhead per scenario (reactive server)")
+	} else {
+		header("Figure 10(d): computing overhead per scenario (proactive server)")
+	}
+	r, err := experiment.RunScenarios(s, includeServer)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.ComputingRows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runFig11a(s *experiment.Setup) error {
+	header("Figure 11(a): bytes transferred per protocol")
+	r, err := experiment.RunFig11a(s)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Render() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runFig11(s *experiment.Setup, includeServer bool) error {
+	if includeServer {
+		header("Figure 11(b): total time with server-side difference computing")
+	} else {
+		header("Figure 11(c): total time without server-side difference computing")
+	}
+	g, err := experiment.RunFig11Grid(s, includeServer)
+	if err != nil {
+		return err
+	}
+	for _, row := range g.Rows() {
+		fmt.Println(row)
+	}
+	sc, err := experiment.RunScenarios(s, includeServer)
+	if err != nil {
+		return err
+	}
+	for _, row := range sc.TotalRows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runHeadline(s *experiment.Setup) error {
+	header("Headline: total overhead savings of adaptive protocol adaptation")
+	r, err := experiment.RunHeadline(s)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Render() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runCapacity(s *experiment.Setup) error {
+	header("Extension: server capacity per adaptation scenario")
+	trace, err := workload.GenerateTrace(s.V2, workload.DefaultTraceConfig(7))
+	if err != nil {
+		return err
+	}
+	r, err := experiment.RunCapacity(s, trace)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Render() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runTimeline(s *experiment.Setup) error {
+	header("Extension: first-contact timeline per station (Figure 4 sequence)")
+	for _, st := range netsim.Stations() {
+		tl, err := experiment.RunTimeline(s, st)
+		if err != nil {
+			return err
+		}
+		for _, row := range tl.Render() {
+			fmt.Println(row)
+		}
+	}
+	return nil
+}
+
+func runPremise(seed int64) error {
+	header("Premise [30]: no single protocol wins across document classes")
+	r, err := experiment.RunPremise(seed)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Render() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runSession(s *experiment.Setup, requests int) error {
+	header("Extension: whole-session client total delay per scenario")
+	r, err := experiment.RunSessionTotals(s, requests)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Render() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no client counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fractal-bench:", err)
+	os.Exit(1)
+}

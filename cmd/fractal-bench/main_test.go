@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("1, 25,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 25 || got[2] != 300 {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-3", "a", "1,,x"} {
+		if _, err := parseCounts(bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
+		}
+	}
+	// Trailing commas and spaces are tolerated.
+	got, err = parseCounts(" 5 , ")
+	if err != nil || len(got) != 1 || got[0] != 5 {
+		t.Fatalf("parseCounts lenient = %v, %v", got, err)
+	}
+}

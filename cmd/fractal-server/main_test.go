@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fractal/internal/appserver"
+	"fractal/internal/mobilecode"
+	"fractal/internal/workload"
+)
+
+func TestPublishModulesWritesModulesAndTrustKey(t *testing.T) {
+	signer, err := mobilecode.NewSigner("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := appserver.New("webapp", signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := workload.Generate(workload.Config{Pages: 1, TextBytes: 64, Images: 0, ImageBytes: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.InstallCorpus(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.DeployPADs("1.0"); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "pads")
+	if err := publishModules(app, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, trustSeen := 0, false
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".fmc"):
+			mods++
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := mobilecode.Unpack(data)
+			if err != nil {
+				t.Fatalf("%s does not unpack: %v", e.Name(), err)
+			}
+			if e.Name() != m.ID+".fmc" {
+				t.Fatalf("module file %s does not match module id %s", e.Name(), m.ID)
+			}
+		case e.Name() == "trust.key":
+			trustSeen = true
+		}
+	}
+	if mods != 4 {
+		t.Fatalf("published %d modules, want 4", mods)
+	}
+	if !trustSeen {
+		t.Fatal("trust.key not written")
+	}
+	// The trust key must parse with the client loader.
+	raw, err := os.ReadFile(filepath.Join(dir, "trust.key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 || lines[0] != "op" {
+		t.Fatalf("trust key format: %q", raw)
+	}
+}

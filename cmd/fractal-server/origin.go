@@ -1,0 +1,19 @@
+package main
+
+import (
+	"time"
+
+	"fractal/internal/cdn"
+	"fractal/internal/netsim"
+)
+
+// newMemOrigin builds a throwaway in-memory origin store used only as the
+// publishing sink when writing modules to disk.
+func newMemOrigin() (*cdn.Origin, error) {
+	return cdn.NewOrigin(netsim.SharedServer{
+		Name:       "publish-sink",
+		UplinkKbps: 1,
+		Rho:        1,
+		BaseRTT:    time.Millisecond,
+	})
+}

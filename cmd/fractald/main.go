@@ -1,0 +1,123 @@
+// Command fractald runs a Fractal adaptation proxy: it accepts AppMeta
+// pushes from application servers and serves Interactive Negotiation
+// Protocol sessions from clients.
+//
+// Usage:
+//
+//	fractald -listen :7001
+//
+// An application server (cmd/fractal-server) pushes its protocol
+// adaptation topology with -proxy pointed here; clients negotiate against
+// the same address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"fractal/internal/core"
+	"fractal/internal/netsim"
+	"fractal/internal/proxy"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7001", "INP listen address")
+		cacheCap  = flag.Int("cache", 4096, "adaptation cache capacity (entries)")
+		rho       = flag.Float64("rho", netsim.DefaultRho, "application-level bandwidth fraction")
+		serverMHz = flag.Float64("server-mhz", netsim.ServerDevice.CPUMHz, "application server CPU speed for the overhead model")
+		session   = flag.Int("session", 75, "default requests per application session")
+		maxConc   = flag.Int("max-concurrent", 256, "maximum simultaneous sessions")
+		proactive = flag.Bool("proactive", false, "assume proactive adaptive content (exclude server-side computing from Equation 3)")
+		policy    = flag.String("policy", "", "access-control policy file: one 'principal: proto1,proto2' line per restricted principal")
+	)
+	flag.Parse()
+
+	ms, err := core.CaseStudyMatrices()
+	if err != nil {
+		log.Fatalf("fractald: %v", err)
+	}
+	px, err := proxy.New(core.OverheadModel{
+		Matrices:          ms,
+		Rho:               *rho,
+		ServerCPUMHz:      *serverMHz,
+		IncludeServerComp: !*proactive,
+		SessionRequests:   *session,
+	}, *cacheCap)
+	if err != nil {
+		log.Fatalf("fractald: %v", err)
+	}
+	if *policy != "" {
+		pt, n, err := loadPolicy(*policy)
+		if err != nil {
+			log.Fatalf("fractald: %v", err)
+		}
+		px.SetAuthorizer(pt)
+		log.Printf("fractald: loaded access policy for %d principal(s)", n)
+	}
+	srv, err := proxy.NewServer(px, *maxConc, log.Printf)
+	if err != nil {
+		log.Fatalf("fractald: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("fractald: listen %s: %v", *listen, err)
+	}
+	log.Printf("fractald: adaptation proxy listening on %s (cache %d entries, rho %.2f)", ln.Addr(), *cacheCap, *rho)
+
+	go handleSignals(func() {
+		st := px.Stats()
+		log.Printf("fractald: shutting down (negotiations %d, cache hits %d, topology pushes %d)",
+			st.Negotiations, st.CacheHits, st.TopologyPushes)
+		_ = srv.Close()
+	})
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("fractald: %v", err)
+	}
+}
+
+// loadPolicy parses "principal: proto1,proto2" lines ('#' comments and
+// blank lines ignored) into a policy table.
+func loadPolicy(path string) (*proxy.PolicyTable, int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	pt := proxy.NewPolicyTable()
+	n := 0
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		principal, protos, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, 0, fmt.Errorf("policy %s line %d: want 'principal: protocols'", path, lineNo+1)
+		}
+		var list []string
+		for _, p := range strings.Split(protos, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		if err := pt.Restrict(strings.TrimSpace(principal), list...); err != nil {
+			return nil, 0, fmt.Errorf("policy %s line %d: %w", path, lineNo+1, err)
+		}
+		n++
+	}
+	return pt, n, nil
+}
+
+func handleSignals(stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Fprintf(os.Stderr, "fractald: received %v\n", sig)
+	stop()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fractal/internal/core"
+)
+
+func TestLoadPolicy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.txt")
+	content := `# comment
+guest: direct, gzip
+
+intern: direct
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pt, n, err := loadPolicy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d principals, want 2", n)
+	}
+	pad := func(proto string) core.PADMeta { return core.PADMeta{ID: "p", Protocol: proto} }
+	if !pt.Allow("guest", "app", pad("gzip")) || pt.Allow("guest", "app", pad("bitmap")) {
+		t.Fatal("guest policy wrong")
+	}
+	if pt.Allow("intern", "app", pad("gzip")) {
+		t.Fatal("intern policy wrong")
+	}
+	if !pt.Allow("admin", "app", pad("varyblock")) {
+		t.Fatal("unrestricted principal denied")
+	}
+}
+
+func TestLoadPolicyErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := loadPolicy(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("no colon here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPolicy(bad); err == nil {
+		t.Error("malformed line accepted")
+	}
+	anon := filepath.Join(dir, "anon.txt")
+	if err := os.WriteFile(anon, []byte(": direct\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPolicy(anon); err == nil {
+		t.Error("anonymous restriction accepted")
+	}
+}

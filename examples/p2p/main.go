@@ -1,0 +1,82 @@
+// P2p demonstrates the peer-to-peer model the paper notes is
+// "straightforward to support" (Section 3.1): three devices in a
+// pervasive mesh — an office workstation, a laptop, and a PDA — each share
+// their own content, trust each other's code-signing keys, and fetch from
+// one another. Every direction negotiates independently against the
+// provider's protocol adaptation tree, so the same pair of peers can use
+// different protocols for the two directions of their relationship.
+//
+// Run with:
+//
+//	go run ./examples/p2p
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fractal/internal/netsim"
+	"fractal/internal/p2p"
+	"fractal/internal/workload"
+)
+
+func main() {
+	type node struct {
+		name    string
+		station netsim.Station
+		seed    int64
+	}
+	nodes := []node{
+		{"workstation", netsim.Desktop, 900},
+		{"laptop", netsim.Laptop, 910},
+		{"handheld", netsim.PDA, 920},
+	}
+	peers := make([]*p2p.Peer, len(nodes))
+	for i, n := range nodes {
+		v1, err := workload.Generate(workload.Config{
+			Pages: 4, TextBytes: 4096, Images: 2, ImageBytes: 24 * 1024, Seed: n.seed,
+		})
+		check(err)
+		v2, err := workload.MutateCorpus(v1, workload.DefaultMutation(n.seed+1))
+		check(err)
+		peer, err := p2p.NewPeer(p2p.Config{
+			Name:            n.name,
+			Station:         n.station,
+			Versions:        []*workload.Corpus{v1, v2},
+			SessionRequests: 20,
+		})
+		check(err)
+		peers[i] = peer
+	}
+	// Pairwise trust: every peer installs the others' signing keys.
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				check(a.Trust(b))
+			}
+		}
+	}
+
+	fmt.Println("per-direction negotiated protocols (consumer <- provider):")
+	for _, consumer := range peers {
+		for _, provider := range peers {
+			if consumer == provider {
+				continue
+			}
+			pads, err := consumer.NegotiatedWith(provider)
+			check(err)
+			data, err := consumer.Fetch(provider, "page-000")
+			check(err)
+			st, err := consumer.Stats(provider)
+			check(err)
+			fmt.Printf("  %-11s <- %-11s  %-9s  %6d content bytes over %6d wire bytes\n",
+				consumer.Name(), provider.Name(), pads[0].Protocol, len(data), st.PayloadBytes)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package fractal is the public facade of the Fractal framework, a
+// reproduction of "Fractal: A Mobile Code Based Framework for Dynamic
+// Application Protocol Adaptation in Pervasive Computing" (Lufei & Shi,
+// IPPS 2005).
+//
+// Fractal composes application protocols from protocol adaptors (PADs)
+// packaged as mobile-code modules. An adaptation proxy near the
+// application server negotiates with each client over the Interactive
+// Negotiation Protocol, runs an adaptation path search over a protocol
+// adaptation tree using a linear overhead model with normalized-ratio
+// corrections, and points the client at the PADs to download from CDN
+// edgeservers. After digest and code-signing checks the client deploys the
+// PADs in a sandboxed VM and talks to the server with the negotiated
+// protocol.
+//
+// The facade re-exports the user-facing API of the internal packages:
+//
+//   - metadata, PAT, overhead model, path search (internal/core)
+//   - adaptation proxy + INP daemon (internal/proxy)
+//   - application server (internal/appserver)
+//   - client host (internal/client)
+//   - mobile-code modules, signing, sandbox (internal/mobilecode)
+//   - communication-optimization protocols (internal/codec)
+//   - CDN substrate (internal/cdn)
+//   - simulated devices and links (internal/netsim)
+//   - workload generator (internal/workload)
+//   - evaluation harness (internal/experiment)
+//
+// See examples/quickstart for a complete in-process deployment.
+package fractal
+
+import (
+	"fractal/internal/appserver"
+	"fractal/internal/cdn"
+	"fractal/internal/client"
+	"fractal/internal/codec"
+	"fractal/internal/core"
+	"fractal/internal/experiment"
+	"fractal/internal/mobilecode"
+	"fractal/internal/netsim"
+	"fractal/internal/proxy"
+	"fractal/internal/workload"
+)
+
+// Core framework types (Section 3 of the paper).
+type (
+	// DevMeta is client device metadata (Figure 3).
+	DevMeta = core.DevMeta
+	// NtwkMeta is client network metadata (Figure 3).
+	NtwkMeta = core.NtwkMeta
+	// Env is one client environment.
+	Env = core.Env
+	// PADMeta is protocol-adaptor metadata (Figure 3).
+	PADMeta = core.PADMeta
+	// PADOverhead is the pre-measured overhead vector of a PAD.
+	PADOverhead = core.PADOverhead
+	// AppMeta is the application topology pushed to the proxy.
+	AppMeta = core.AppMeta
+	// PAT is the protocol adaptation tree (Section 3.4.1).
+	PAT = core.PAT
+	// OverheadModel evaluates Equation 3.
+	OverheadModel = core.OverheadModel
+	// Breakdown is the per-term decomposition of Equation 3.
+	Breakdown = core.Breakdown
+	// PathResult is the outcome of the adaptation path search.
+	PathResult = core.PathResult
+	// Matrices bundles the normalized ratio matrices A, B, R.
+	Matrices = core.Matrices
+	// RatioMatrix is one normalized ratio matrix.
+	RatioMatrix = core.RatioMatrix
+)
+
+// Deployment roles.
+type (
+	// Proxy is the adaptation proxy (Section 3.2).
+	Proxy = proxy.Proxy
+	// ProxyServer is the proxy's INP daemon.
+	ProxyServer = proxy.Server
+	// AppServer is the application server.
+	AppServer = appserver.Server
+	// AppINPServer is the application server's INP daemon.
+	AppINPServer = appserver.INPServer
+	// Client is a Fractal client host.
+	Client = client.Client
+	// ClientConfig parameterizes a client host.
+	ClientConfig = client.Config
+	// CDN is the content distribution network substrate.
+	CDN = cdn.CDN
+	// Module is a packed, signed PAD mobile-code module.
+	Module = mobilecode.Module
+	// Signer is a code-signing identity.
+	Signer = mobilecode.Signer
+	// TrustList is a client's set of trusted signing entities.
+	TrustList = mobilecode.TrustList
+	// Sandbox bounds mobile-code execution.
+	Sandbox = mobilecode.Sandbox
+	// Codec is one communication-optimization protocol.
+	Codec = codec.Codec
+	// Station is a simulated client device + link.
+	Station = netsim.Station
+	// Corpus is a versioned content set.
+	Corpus = workload.Corpus
+	// ExperimentSetup is a fully wired evaluation platform.
+	ExperimentSetup = experiment.Setup
+)
+
+// Constructors and helpers.
+var (
+	// BuildPAT constructs a protocol adaptation tree from AppMeta.
+	BuildPAT = core.BuildPAT
+	// FindPath runs the adaptation path search (Figure 6).
+	FindPath = core.FindPath
+	// CaseStudyMatrices returns the matrices of Equations 4-6.
+	CaseStudyMatrices = core.CaseStudyMatrices
+	// ContentAdaptationMatrices extends them for two-level topologies
+	// with rendition suitability (the screen-resolution parameter).
+	ContentAdaptationMatrices = core.ContentAdaptationMatrices
+	// NewPolicyTable builds a per-principal protocol allowlist for the
+	// proxy's access-control extension.
+	NewPolicyTable = proxy.NewPolicyTable
+	// NewProxy builds an adaptation proxy.
+	NewProxy = proxy.New
+	// NewProxyServer wraps a proxy in an INP daemon.
+	NewProxyServer = proxy.NewServer
+	// NewAppServer builds an application server.
+	NewAppServer = appserver.New
+	// NewAppINPServer wraps an application server in an INP daemon.
+	NewAppINPServer = appserver.NewINPServer
+	// NewClient wires a client host.
+	NewClient = client.New
+	// NewSigner generates a code-signing identity.
+	NewSigner = mobilecode.NewSigner
+	// NewTrustList returns an empty trust list.
+	NewTrustList = mobilecode.NewTrustList
+	// DefaultSandbox returns sane mobile-code resource limits.
+	DefaultSandbox = mobilecode.DefaultSandbox
+	// NewCodec constructs a registered protocol by name.
+	NewCodec = codec.New
+	// CodecNames lists the registered protocols.
+	CodecNames = codec.Names
+	// DefaultCDNTopology builds the experimental CDN.
+	DefaultCDNTopology = cdn.DefaultTopology
+	// GenerateCorpus builds the deterministic page corpus.
+	GenerateCorpus = workload.Generate
+	// MutateCorpus evolves a corpus to its next version.
+	MutateCorpus = workload.MutateCorpus
+	// NewExperimentSetup wires the full evaluation platform.
+	NewExperimentSetup = experiment.NewSetup
+	// DefaultExperimentConfig matches the paper's platform.
+	DefaultExperimentConfig = experiment.DefaultSetupConfig
+	// Stations returns the paper's three client configurations.
+	Stations = netsim.Stations
+	// EnvFor converts a station to negotiation metadata.
+	EnvFor = experiment.EnvFor
+)
+
+// Protocol registry names of the case study (Table 1).
+const (
+	ProtocolDirect    = codec.NameDirect
+	ProtocolGzip      = codec.NameGzip
+	ProtocolBitmap    = codec.NameBitmap
+	ProtocolVaryBlock = codec.NameVaryBlock
+)

@@ -1,0 +1,78 @@
+package fractal
+
+import (
+	"testing"
+
+	"fractal/internal/netsim"
+)
+
+// The facade must stay wired to working constructors; this exercises the
+// exported surface end to end in-process.
+func TestFacadeSurface(t *testing.T) {
+	names := CodecNames()
+	want := map[string]bool{
+		ProtocolDirect: false, ProtocolGzip: false,
+		ProtocolBitmap: false, ProtocolVaryBlock: false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for proto, seen := range want {
+		if !seen {
+			t.Errorf("facade registry missing %q", proto)
+		}
+	}
+	c, err := NewCodec(ProtocolGzip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Encode(nil, []byte("hello fractal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(nil, payload)
+	if err != nil || string(got) != "hello fractal" {
+		t.Fatalf("facade codec round trip = %q, %v", got, err)
+	}
+
+	ms, err := CaseStudyMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ContentAdaptationMatrices(); err != nil {
+		t.Fatal(err)
+	}
+	if len(Stations()) != 3 {
+		t.Fatal("facade stations broken")
+	}
+	env := EnvFor(netsim.PDA)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if NewPolicyTable() == nil {
+		t.Fatal("facade policy table broken")
+	}
+	signer, err := NewSigner("facade-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustList()
+	if err := trust.Add(signer.Entity, signer.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultSandbox().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DefaultCDNTopology(2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	if cfg.Pages != 75 {
+		t.Fatalf("default experiment pages = %d", cfg.Pages)
+	}
+}

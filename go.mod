@@ -1,0 +1,3 @@
+module fractal
+
+go 1.22

@@ -1,0 +1,506 @@
+// Package appserver implements Fractal's application server: it stores
+// versioned adaptive content, pre-deploys every PAD (Section 3.1 assumes
+// "the application server has already deployed all PADs in advance"),
+// measures the per-PAD overhead vectors (Equation 1) on its own corpus,
+// pushes AppMeta to the adaptation proxy, publishes PAD modules to the
+// CDN origin, and answers APP_REQ with content encoded by the negotiated
+// protocol — either reactively (encode per request) or proactively
+// (difference precomputed, the Figure 10(d)/11(c) server strategy).
+package appserver
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fractal/internal/cdn"
+	"fractal/internal/codec"
+	"fractal/internal/core"
+	"fractal/internal/mobilecode"
+	"fractal/internal/transcode"
+	"fractal/internal/workload"
+)
+
+// Strategy selects how adaptive content is produced.
+type Strategy int
+
+const (
+	// Reactive computes each encoding on demand: small memory, CPU per
+	// request (the default in Figures 10(a–c)/11(b)).
+	Reactive Strategy = iota
+	// Proactive precomputes encodings so no server-side computing happens
+	// at request time (Figures 10(d)/11(c)).
+	Proactive
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Proactive {
+		return "proactive"
+	}
+	return "reactive"
+}
+
+// pad couples a deployed PAD module with its native protocol
+// implementation (the server always runs native code; mobile code is for
+// clients).
+type pad struct {
+	module *mobilecode.Module
+	impl   codec.Costed
+	meta   core.PADMeta
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Requests       int64
+	ReactiveEncod  int64
+	PrecomputeHits int64
+}
+
+// Server is one Fractal application server instance.
+type Server struct {
+	appID  string
+	signer *mobilecode.Signer
+
+	mu          sync.RWMutex
+	resources   map[string][][]byte             // resource -> versions (index 0 = v1)
+	pads        map[string]*pad                 // by PAD id
+	protoPAD    map[string]string               // protocol name -> PAD id
+	transcoders map[string]transcode.Transcoder // content-adaptation PADs by id
+	strategy    Strategy
+	// precomputed holds proactive encodings keyed by
+	// "padID|resource|haveVersion".
+	precomputed map[string][]byte
+
+	requests    atomic.Int64
+	reactive    atomic.Int64
+	precompHits atomic.Int64
+}
+
+// New builds an application server. The signer is the code-signing
+// identity whose public key clients must trust.
+func New(appID string, signer *mobilecode.Signer) (*Server, error) {
+	if appID == "" {
+		return nil, fmt.Errorf("appserver: needs an application id")
+	}
+	if signer == nil {
+		return nil, fmt.Errorf("appserver: needs a signing identity")
+	}
+	return &Server{
+		appID:       appID,
+		signer:      signer,
+		resources:   map[string][][]byte{},
+		pads:        map[string]*pad{},
+		protoPAD:    map[string]string{},
+		transcoders: map[string]transcode.Transcoder{},
+		precomputed: map[string][]byte{},
+	}, nil
+}
+
+// AppID returns the application identifier.
+func (s *Server) AppID() string { return s.appID }
+
+// SetStrategy switches between reactive and proactive adaptive content.
+// Switching to Proactive precomputes every (PAD, resource, version-1)
+// encoding immediately.
+func (s *Server) SetStrategy(st Strategy) error {
+	if st != Reactive && st != Proactive {
+		return fmt.Errorf("appserver: unknown strategy %d", st)
+	}
+	s.mu.Lock()
+	s.strategy = st
+	s.mu.Unlock()
+	if st == Proactive {
+		return s.precomputeAll()
+	}
+	return nil
+}
+
+// Strategy returns the current content strategy.
+func (s *Server) Strategy() Strategy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.strategy
+}
+
+// InstallCorpus loads version chains built from a workload corpus: each
+// page contributes its serialized versions in order. Calling it again
+// appends further versions to the existing chains (a content update on a
+// live server); with the proactive strategy active, the precomputed store
+// is rebuilt so no stale encodings survive the update.
+func (s *Server) InstallCorpus(versions ...*workload.Corpus) error {
+	if len(versions) == 0 {
+		return fmt.Errorf("appserver: no corpus versions to install")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := map[string]int{}
+	for vi, c := range versions {
+		for _, p := range c.Pages {
+			b, seen := base[p.ID]
+			if !seen {
+				b = len(s.resources[p.ID])
+				base[p.ID] = b
+			}
+			chain := s.resources[p.ID]
+			if len(chain) != b+vi {
+				return fmt.Errorf("appserver: resource %s has %d versions installing update %d of this batch (base %d)", p.ID, len(chain), vi+1, b)
+			}
+			s.resources[p.ID] = append(chain, p.Bytes())
+		}
+	}
+	if s.strategy == Proactive {
+		s.precomputed = map[string][]byte{}
+		return s.precomputeAllLocked()
+	}
+	return nil
+}
+
+// Resources returns the number of installed resources.
+func (s *Server) Resources() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.resources)
+}
+
+// Current returns a resource's newest version data and number.
+func (s *Server) Current(resource string) ([]byte, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, ok := s.resources[resource]
+	if !ok || len(chain) == 0 {
+		return nil, 0, fmt.Errorf("appserver: no resource %q", resource)
+	}
+	return chain[len(chain)-1], len(chain), nil
+}
+
+// version returns a specific version's data (1-indexed), nil for 0.
+func (s *Server) version(resource string, v int) ([]byte, error) {
+	if v == 0 {
+		return nil, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, ok := s.resources[resource]
+	if !ok || v < 1 || v > len(chain) {
+		return nil, fmt.Errorf("appserver: resource %q has no version %d", resource, v)
+	}
+	return chain[v-1], nil
+}
+
+// DeployPADs builds, signs, and installs the case-study PAD set at the
+// given module version.
+func (s *Server) DeployPADs(moduleVersion string) error {
+	specs := mobilecode.BuiltinSpecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, spec := range specs {
+		m, err := mobilecode.BuildModule(spec, moduleVersion, s.signer)
+		if err != nil {
+			return fmt.Errorf("appserver: building %s: %w", spec.ID, err)
+		}
+		impl, err := codec.New(spec.Protocol)
+		if err != nil {
+			return fmt.Errorf("appserver: native impl for %s: %w", spec.ID, err)
+		}
+		s.pads[m.ID] = &pad{module: m, impl: impl}
+		s.protoPAD[spec.Protocol] = m.ID
+	}
+	return nil
+}
+
+// PADIDs returns the deployed PAD ids.
+func (s *Server) PADIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pads))
+	for id := range s.pads {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MeasureAppMeta pre-tests every deployed PAD against up to samplePages of
+// the installed corpus (latest version against its predecessor) to fill
+// the PADMeta overhead vectors, producing the AppMeta to push to the
+// adaptation proxy. Digest and URL are filled from the module and the
+// CDN publishing convention.
+func (s *Server) MeasureAppMeta(samplePages int) (core.AppMeta, error) {
+	if samplePages < 1 {
+		return core.AppMeta{}, fmt.Errorf("appserver: need >= 1 sample page, got %d", samplePages)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.pads) == 0 {
+		return core.AppMeta{}, fmt.Errorf("appserver: no PADs deployed")
+	}
+	// Collect sample (old, cur) pairs deterministically.
+	type pair struct{ old, cur []byte }
+	var pairs []pair
+	ids := make([]string, 0, len(s.resources))
+	for id := range s.resources {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if len(pairs) >= samplePages {
+			break
+		}
+		chain := s.resources[id]
+		if len(chain) == 0 {
+			continue
+		}
+		cur := chain[len(chain)-1]
+		var old []byte
+		if len(chain) > 1 {
+			old = chain[len(chain)-2]
+		}
+		pairs = append(pairs, pair{old: old, cur: cur})
+	}
+	if len(pairs) == 0 {
+		return core.AppMeta{}, fmt.Errorf("appserver: no content installed to measure against")
+	}
+
+	app := core.AppMeta{AppID: s.appID}
+	padIDs := make([]string, 0, len(s.pads))
+	for id := range s.pads {
+		// Transcoder PADs belong to the content-adaptation topology
+		// (MeasureContentAdaptationAppMeta), not the flat one.
+		if _, isTC := s.transcoders[id]; isTC {
+			continue
+		}
+		padIDs = append(padIDs, id)
+	}
+	sort.Strings(padIDs)
+	for _, id := range padIDs {
+		p := s.pads[id]
+		var traffic, upstream, content int64
+		for _, pr := range pairs {
+			payload, err := p.impl.Encode(pr.old, pr.cur)
+			if err != nil {
+				return core.AppMeta{}, fmt.Errorf("appserver: measuring %s: %w", id, err)
+			}
+			traffic += int64(len(payload))
+			content += int64(len(pr.cur))
+			if uc, ok := codec.Codec(p.impl).(codec.UpstreamCoster); ok {
+				upstream += uc.UpstreamBytes(pr.old)
+			}
+		}
+		n := int64(len(pairs))
+		avgContent := content / n
+		cost := p.impl.Cost()
+		meta := core.PADMeta{
+			ID:       p.module.ID,
+			Version:  p.module.Version,
+			Protocol: p.impl.Name(),
+			Size:     p.module.Size(),
+			Digest:   p.module.Digest,
+			URL:      "/pads/" + p.module.ID,
+			Overhead: core.PADOverhead{
+				ServerCompStd: cost.ServerTime(avgContent),
+				ClientCompStd: cost.ClientTime(avgContent),
+				TrafficBytes:  traffic / n,
+				UpstreamBytes: upstream / n,
+			},
+		}
+		p.meta = meta
+		app.PADs = append(app.PADs, meta)
+	}
+	return app, nil
+}
+
+// PublishPADs uploads every deployed PAD module to the CDN origin under
+// its metadata URL.
+func (s *Server) PublishPADs(origin *cdn.Origin) error {
+	if origin == nil {
+		return fmt.Errorf("appserver: nil CDN origin")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, p := range s.pads {
+		packed, err := p.module.Pack()
+		if err != nil {
+			return fmt.Errorf("appserver: packing %s: %w", id, err)
+		}
+		if err := origin.Publish("/pads/"+id, packed); err != nil {
+			return fmt.Errorf("appserver: publishing %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// TrustedKey returns the signing identity's public key for client trust
+// lists.
+func (s *Server) TrustedKey() (string, []byte) {
+	return s.signer.Entity, s.signer.PublicKey()
+}
+
+// precomputeAll fills the proactive cache for every (transcoder, PAD,
+// resource) combination against each predecessor version and the
+// cold-start case.
+func (s *Server) precomputeAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.precomputeAllLocked()
+}
+
+// precomputeAllLocked is precomputeAll with s.mu already held.
+func (s *Server) precomputeAllLocked() error {
+	tcs := []string{""}
+	for id := range s.transcoders {
+		tcs = append(tcs, id)
+	}
+	for res, chain := range s.resources {
+		curV := len(chain)
+		for _, tcID := range tcs {
+			cur, err := s.transformLocked(tcID, chain[curV-1])
+			if err != nil {
+				return err
+			}
+			for id, p := range s.pads {
+				for have := 0; have <= curV; have++ {
+					var old []byte
+					if have > 0 {
+						if old, err = s.transformLocked(tcID, chain[have-1]); err != nil {
+							return err
+						}
+					}
+					payload, err := p.impl.Encode(old, cur)
+					if err != nil {
+						return fmt.Errorf("appserver: precomputing %s/%s/%s@%d: %w", tcID, id, res, have, err)
+					}
+					s.precomputed[precompKey(tcID, id, res, have)] = payload
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// transformLocked applies a registered transcoder ("" = none); the caller
+// holds s.mu.
+func (s *Server) transformLocked(tcID string, content []byte) ([]byte, error) {
+	if tcID == "" {
+		return content, nil
+	}
+	tc, ok := s.transcoders[tcID]
+	if !ok {
+		return nil, fmt.Errorf("appserver: unknown transcoder PAD %q", tcID)
+	}
+	out, err := tc.Transform(content)
+	if err != nil {
+		return nil, fmt.Errorf("appserver: transcoding with %s: %w", tcID, err)
+	}
+	return out, nil
+}
+
+func precompKey(transcoderID, padID, resource string, have int) string {
+	return fmt.Sprintf("%s|%s|%s|%d", transcoderID, padID, resource, have)
+}
+
+// EncodeResult is the outcome of serving one request.
+type EncodeResult struct {
+	Payload      []byte
+	Version      int
+	PADID        string
+	ContentBytes int64 // size of the full current version
+	Precomputed  bool
+}
+
+// Encode serves a resource for a client that negotiated the given PAD
+// path and holds haveVersion (0 = nothing). The path may contain one
+// content-adaptation PAD (applied to the content first) and must contain
+// one communication-optimization PAD. Context-specific metadata ids of the
+// form "<module-id>@<context>" resolve to their module.
+func (s *Server) Encode(padIDs []string, resource string, haveVersion int) (EncodeResult, error) {
+	s.requests.Add(1)
+	s.mu.RLock()
+	var chosen *pad
+	var chosenID, tcID string
+	for _, id := range padIDs {
+		if _, ok := s.transcoders[id]; ok {
+			if tcID != "" && tcID != id {
+				s.mu.RUnlock()
+				return EncodeResult{}, fmt.Errorf("appserver: path names two transcoders (%s, %s)", tcID, id)
+			}
+			tcID = id
+			continue
+		}
+		if chosen != nil {
+			continue
+		}
+		moduleID := id
+		if i := strings.IndexByte(id, '@'); i >= 0 {
+			moduleID = id[:i]
+		}
+		if p, ok := s.pads[moduleID]; ok {
+			chosen, chosenID = p, id
+		}
+	}
+	strategy := s.strategy
+	s.mu.RUnlock()
+	if chosen == nil {
+		return EncodeResult{}, fmt.Errorf("appserver: none of the negotiated PADs %v is deployed", padIDs)
+	}
+	cur, curV, err := s.Current(resource)
+	if err != nil {
+		return EncodeResult{}, err
+	}
+	if haveVersion < 0 || haveVersion > curV {
+		return EncodeResult{}, fmt.Errorf("appserver: client claims version %d of %s, newest is %d", haveVersion, resource, curV)
+	}
+	// Note haveVersion may equal curV (client already current): the old
+	// version is then the current content itself, and differencing
+	// protocols collapse the payload to nearly nothing.
+	if strategy == Proactive {
+		s.mu.RLock()
+		payload, ok := s.precomputed[precompKey(tcID, moduleOf(chosenID), resource, haveVersion)]
+		s.mu.RUnlock()
+		if ok {
+			s.precompHits.Add(1)
+			return EncodeResult{Payload: payload, Version: curV, PADID: chosenID, ContentBytes: int64(len(cur)), Precomputed: true}, nil
+		}
+	}
+	old, err := s.version(resource, haveVersion)
+	if err != nil {
+		return EncodeResult{}, err
+	}
+	s.mu.RLock()
+	cur, err = s.transformLocked(tcID, cur)
+	if err == nil && old != nil {
+		old, err = s.transformLocked(tcID, old)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return EncodeResult{}, err
+	}
+	payload, err := chosen.impl.Encode(old, cur)
+	if err != nil {
+		return EncodeResult{}, fmt.Errorf("appserver: encoding %s with %s: %w", resource, chosenID, err)
+	}
+	s.reactive.Add(1)
+	return EncodeResult{Payload: payload, Version: curV, PADID: chosenID, ContentBytes: int64(len(cur))}, nil
+}
+
+// moduleOf strips a context suffix from a metadata PAD id.
+func moduleOf(metaID string) string {
+	if i := strings.IndexByte(metaID, '@'); i >= 0 {
+		return metaID[:i]
+	}
+	return metaID
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:       s.requests.Load(),
+		ReactiveEncod:  s.reactive.Load(),
+		PrecomputeHits: s.precompHits.Load(),
+	}
+}
+
+// DigestOf is a convenience for tests: SHA-1 of a blob.
+func DigestOf(b []byte) [sha1.Size]byte { return sha1.Sum(b) }

@@ -1,0 +1,149 @@
+package appserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"fractal/internal/core"
+	"fractal/internal/inp"
+)
+
+// INPServer is the application server's network front end: each connection
+// carries an application session, a stream of APP_REQ messages answered
+// with APP_REP carrying PAD-encoded content.
+type INPServer struct {
+	app  *Server
+	sem  chan struct{}
+	logf func(string, ...interface{})
+	idle time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// SetIdleTimeout bounds the gap between requests on each session; it must
+// be called before Serve.
+func (s *INPServer) SetIdleTimeout(d time.Duration) { s.idle = d }
+
+// NewINPServer wraps an application server.
+func NewINPServer(app *Server, maxConcurrent int, logf func(string, ...interface{})) (*INPServer, error) {
+	if app == nil {
+		return nil, errors.New("appserver: INP server needs an application server")
+	}
+	if maxConcurrent < 1 {
+		return nil, fmt.Errorf("appserver: concurrency must be >= 1, got %d", maxConcurrent)
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &INPServer{app: app, sem: make(chan struct{}, maxConcurrent), logf: logf}, nil
+}
+
+// Serve accepts sessions until Close.
+func (s *INPServer) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("appserver: server already closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("appserver: accept: %w", err)
+		}
+		s.sem <- struct{}{}
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				<-s.sem
+				s.wg.Done()
+			}()
+			defer conn.Close()
+			if err := s.ServeConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("appserver: session from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions.
+func (s *INPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// PushAppMetaTCP pushes an application topology to a remote adaptation
+// proxy over INP.
+func PushAppMetaTCP(proxyAddr string, app core.AppMeta) error {
+	conn, err := net.Dial("tcp", proxyAddr)
+	if err != nil {
+		return fmt.Errorf("appserver: dialing proxy %s: %w", proxyAddr, err)
+	}
+	defer conn.Close()
+	c := inp.NewConn(conn)
+	var ack inp.AppMetaAck
+	if err := c.Call(inp.MsgAppMetaPush, inp.AppMetaPush{App: app}, inp.MsgAppMetaAck, &ack); err != nil {
+		return fmt.Errorf("appserver: pushing AppMeta: %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("appserver: proxy rejected AppMeta: %s", ack.Reason)
+	}
+	return nil
+}
+
+// ServeConn answers APP_REQ messages until the peer disconnects.
+func (s *INPServer) ServeConn(rw net.Conn) error {
+	c := inp.NewConn(rw)
+	for {
+		if s.idle > 0 {
+			_ = rw.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		var req inp.AppReq
+		if err := c.RecvInto(inp.MsgAppReq, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return io.EOF
+			}
+			return fmt.Errorf("reading APP_REQ: %w", err)
+		}
+		if req.AppID != s.app.AppID() {
+			_ = c.SendError(fmt.Sprintf("unknown application %q", req.AppID))
+			continue
+		}
+		res, err := s.app.Encode(req.ProtocolIDs, req.Resource, req.HaveVersion)
+		if err != nil {
+			_ = c.SendError(err.Error())
+			continue
+		}
+		rep := inp.AppRep{
+			Resource: req.Resource,
+			Version:  res.Version,
+			PADID:    res.PADID,
+			Payload:  res.Payload,
+		}
+		if err := c.Send(inp.MsgAppRep, rep); err != nil {
+			return fmt.Errorf("sending APP_REP: %w", err)
+		}
+	}
+}

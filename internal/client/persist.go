@@ -1,0 +1,85 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fractal/internal/core"
+)
+
+// persistedCache is the on-disk form of the client's protocol cache: the
+// PADMeta the client negotiated per application, keyed by the environment
+// it negotiated under so a device/network change invalidates the entry
+// naturally on load.
+type persistedCache struct {
+	EnvKey string                    `json:"env_key"`
+	Apps   map[string][]core.PADMeta `json:"apps"`
+}
+
+// envKey canonicalizes the environment for cache binding.
+func envKey(env core.Env) string {
+	return env.Dev.Key() + "|" + env.Ntwk.Key()
+}
+
+// SaveProtocolCache writes the protocol cache to path so a later session
+// on the same device can skip negotiation entirely (though it still
+// re-downloads PAD modules, which are not persisted).
+func (c *Client) SaveProtocolCache(path string) error {
+	c.mu.Lock()
+	out := persistedCache{
+		EnvKey: envKey(c.cfg.Env),
+		Apps:   map[string][]core.PADMeta{},
+	}
+	for app, pads := range c.protocolCache {
+		out.Apps[app] = append([]core.PADMeta(nil), pads...)
+	}
+	c.mu.Unlock()
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("client: encoding protocol cache: %w", err)
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		return fmt.Errorf("client: writing protocol cache: %w", err)
+	}
+	return nil
+}
+
+// LoadProtocolCache restores a saved protocol cache. Entries recorded
+// under a different environment than the client's current one are
+// discarded (the negotiation result is environment-specific). It returns
+// the number of applications restored.
+func (c *Client) LoadProtocolCache(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("client: reading protocol cache: %w", err)
+	}
+	var in persistedCache
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return 0, fmt.Errorf("client: protocol cache corrupt: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in.EnvKey != envKey(c.cfg.Env) {
+		return 0, nil // stale: recorded for a different environment
+	}
+	n := 0
+	for app, pads := range in.Apps {
+		if len(pads) == 0 {
+			continue
+		}
+		ok := true
+		for _, p := range pads {
+			if p.Validate() != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c.protocolCache[app] = pads
+		n++
+	}
+	return n, nil
+}

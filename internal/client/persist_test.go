@@ -1,0 +1,165 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fractal/internal/netsim"
+)
+
+func TestProbeEnv(t *testing.T) {
+	env, err := ProbeEnv("LAN", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Dev.CPUMHz <= 0 || env.Dev.MemMB <= 0 {
+		t.Fatalf("probe produced %+v", env.Dev)
+	}
+	if env.Dev.OSType == "" || env.Dev.CPUType == "" {
+		t.Fatalf("probe missing identity: %+v", env.Dev)
+	}
+	if _, err := ProbeEnv("", 1000); err == nil {
+		t.Error("empty network type accepted")
+	}
+	if _, err := ProbeEnv("LAN", 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestCPUAndMemParsers(t *testing.T) {
+	dir := t.TempDir()
+	cpuinfo := filepath.Join(dir, "cpuinfo")
+	if err := os.WriteFile(cpuinfo, []byte("processor : 0\ncpu MHz : 2100.123\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpuMHzFromProc(cpuinfo); got != 2100.123 {
+		t.Fatalf("cpu MHz = %v", got)
+	}
+	if got := cpuMHzFromProc(filepath.Join(dir, "absent")); got != 0 {
+		t.Fatalf("missing file cpu MHz = %v", got)
+	}
+	meminfo := filepath.Join(dir, "meminfo")
+	if err := os.WriteFile(meminfo, []byte("MemTotal: 2097152 kB\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := memMBFromProc(meminfo); got != 2048 {
+		t.Fatalf("mem MB = %v", got)
+	}
+	if got := memMBFromProc(filepath.Join(dir, "absent")); got != 0 {
+		t.Fatalf("missing file mem = %v", got)
+	}
+}
+
+func TestProtocolCachePersistence(t *testing.T) {
+	w := buildWorld(t)
+	path := filepath.Join(t.TempDir(), "protocols.json")
+
+	first, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.EnsureProtocol("webapp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.SaveProtocolCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh client on the same device restores the cache and never
+	// negotiates — but still downloads + verifies the modules.
+	second, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := second.LoadProtocolCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d apps, want 1", n)
+	}
+	if _, err := second.Request("webapp", "page-000"); err != nil {
+		t.Fatal(err)
+	}
+	st := second.Stats()
+	if st.Negotiations != 0 {
+		t.Fatalf("restored client negotiated %d times, want 0", st.Negotiations)
+	}
+	if st.PADDownloads == 0 {
+		t.Fatal("restored client deployed nothing")
+	}
+
+	// A client in a different environment must ignore the stale cache.
+	other, err := New(desktopConfig(w.trust), w.proxy, w.fetcher("region-1", netsim.LAN), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = other.LoadProtocolCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("different-env client restored %d apps, want 0", n)
+	}
+}
+
+func TestLoadProtocolCacheErrors(t *testing.T) {
+	w := buildWorld(t)
+	c, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadProtocolCache(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing cache file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadProtocolCache(bad); err == nil {
+		t.Error("corrupt cache accepted")
+	}
+}
+
+func TestStaleCacheFallsBackToNegotiation(t *testing.T) {
+	w := buildWorld(t)
+	path := filepath.Join(t.TempDir(), "protocols.json")
+	c, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnsureProtocol("webapp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveProtocolCache(path); err != nil {
+		t.Fatal(err)
+	}
+	// Republish a different module under the negotiated PAD's URL: the
+	// cached digest no longer matches, so the restored client must fall
+	// back to a fresh negotiation (which returns updated metadata).
+	app2 := w.app
+	appMeta, err := app2.MeasureAppMeta(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = appMeta
+	fresh, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.LoadProtocolCache(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the cached digest to simulate a module rollover.
+	fresh.mu.Lock()
+	pads := fresh.protocolCache["webapp"]
+	pads[0].Digest[0] ^= 0xFF
+	fresh.mu.Unlock()
+	if _, err := fresh.EnsureProtocol("webapp"); err != nil {
+		t.Fatalf("stale cache did not fall back to negotiation: %v", err)
+	}
+	if fresh.Stats().Negotiations != 1 {
+		t.Fatalf("negotiations = %d, want 1 (fallback)", fresh.Stats().Negotiations)
+	}
+}

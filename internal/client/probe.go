@@ -1,0 +1,104 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"fractal/internal/core"
+)
+
+// ProbeEnv gathers the client's device metadata from the running host —
+// the paper's "the client gets the content of DevMeta and NtwkMeta locally
+// by probing the system using system calls" — combined with the caller's
+// knowledge of its network attachment (link type and bandwidth cannot be
+// probed reliably without traffic). Unknown values fall back to
+// conservative defaults rather than failing, since negotiation degrades
+// gracefully with approximate metadata.
+func ProbeEnv(networkType string, bandwidthKbps float64) (core.Env, error) {
+	ntwk := core.NtwkMeta{NetworkType: networkType, BandwidthKbps: bandwidthKbps}
+	if err := ntwk.Validate(); err != nil {
+		return core.Env{}, err
+	}
+	dev := core.DevMeta{
+		OSType:  runtime.GOOS,
+		CPUType: runtime.GOARCH,
+		CPUMHz:  probeCPUMHz(),
+		MemMB:   probeMemMB(),
+	}
+	if err := dev.Validate(); err != nil {
+		return core.Env{}, fmt.Errorf("client: probe produced invalid metadata: %w", err)
+	}
+	return core.Env{Dev: dev, Ntwk: ntwk}, nil
+}
+
+// probeCPUMHz reads the processor speed from /proc/cpuinfo on Linux and
+// falls back to a 1 GHz estimate elsewhere.
+func probeCPUMHz() float64 {
+	if mhz := cpuMHzFromProc("/proc/cpuinfo"); mhz > 0 {
+		return mhz
+	}
+	return 1000
+}
+
+// cpuMHzFromProc parses the first "cpu MHz" line of a cpuinfo-format file.
+func cpuMHzFromProc(path string) float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "cpu MHz") {
+			continue
+		}
+		_, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		mhz, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err == nil && mhz > 0 {
+			return mhz
+		}
+	}
+	return 0
+}
+
+// probeMemMB reads total memory from /proc/meminfo on Linux and falls
+// back to 1 GiB elsewhere.
+func probeMemMB() int {
+	if mb := memMBFromProc("/proc/meminfo"); mb > 0 {
+		return mb
+	}
+	return 1024
+}
+
+// memMBFromProc parses the MemTotal line of a meminfo-format file.
+func memMBFromProc(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err == nil && kb > 0 {
+			return int(kb / 1024)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,160 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"fractal/internal/cdn"
+	"fractal/internal/core"
+	"fractal/internal/inp"
+	"fractal/internal/netsim"
+)
+
+// TCPNegotiator performs the Figure 4 negotiation against a live
+// adaptation proxy over INP/TCP. ClientID, when set, identifies the
+// principal for the proxy's access-control policy.
+type TCPNegotiator struct {
+	Addr     string
+	ClientID string
+}
+
+// Negotiate implements Negotiator.
+func (t *TCPNegotiator) Negotiate(appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
+	conn, err := net.Dial("tcp", t.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing proxy %s: %w", t.Addr, err)
+	}
+	defer conn.Close()
+	c := inp.NewConn(conn)
+	var initRep inp.InitRep
+	if err := c.Call(inp.MsgInitReq, inp.InitReq{AppID: appID, ClientID: t.ClientID}, inp.MsgInitRep, &initRep); err != nil {
+		return nil, fmt.Errorf("client: INIT exchange: %w", err)
+	}
+	if !initRep.OK {
+		return nil, fmt.Errorf("client: proxy refused negotiation: %s", initRep.Reason)
+	}
+	var tmpl inp.CliMetaReq
+	if err := c.RecvInto(inp.MsgCliMetaReq, &tmpl); err != nil {
+		return nil, fmt.Errorf("client: CLI_META_REQ: %w", err)
+	}
+	// "The client gets the content of DevMeta and NtwkMeta locally by
+	// probing the system" — here the probe is the configured environment.
+	var rep inp.PADMetaRep
+	err = c.Call(inp.MsgCliMetaRep,
+		inp.CliMetaRep{Dev: env.Dev, Ntwk: env.Ntwk, SessionRequests: sessionRequests},
+		inp.MsgPADMetaRep, &rep)
+	if err != nil {
+		return nil, fmt.Errorf("client: metadata exchange: %w", err)
+	}
+	return rep.PADs, nil
+}
+
+// CDNFetcher downloads PAD modules from the simulated CDN, recording
+// simulated retrieval times.
+type CDNFetcher struct {
+	CDN    *cdn.CDN
+	Region string
+	Link   netsim.Link
+	// Concurrent models how many simultaneous downloads share the edge.
+	Concurrent int
+
+	mu        sync.Mutex
+	lastTimes []cdn.Retrieval
+}
+
+// FetchPAD implements PADFetcher via the closest edgeserver.
+func (f *CDNFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
+	conc := f.Concurrent
+	if conc < 1 {
+		conc = 1
+	}
+	r, err := f.CDN.Retrieve(f.Region, meta.URL, f.Link, conc)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.lastTimes = append(f.lastTimes, r)
+	f.mu.Unlock()
+	return r.Data, nil
+}
+
+// Retrievals returns the accumulated retrieval records.
+func (f *CDNFetcher) Retrievals() []cdn.Retrieval {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]cdn.Retrieval(nil), f.lastTimes...)
+}
+
+// TCPPADFetcher downloads PAD modules from a PAD server (edgeserver or
+// centralized) over INP/TCP, one connection per download.
+type TCPPADFetcher struct {
+	Addr string
+}
+
+// FetchPAD implements PADFetcher.
+func (f *TCPPADFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
+	conn, err := net.Dial("tcp", f.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing PAD server %s: %w", f.Addr, err)
+	}
+	defer conn.Close()
+	c := inp.NewConn(conn)
+	var rep inp.PADDownloadRep
+	err = c.Call(inp.MsgPADDownloadReq,
+		inp.PADDownloadReq{PADID: meta.ID, URL: meta.URL},
+		inp.MsgPADDownloadRep, &rep)
+	if err != nil {
+		return nil, fmt.Errorf("client: downloading %s: %w", meta.ID, err)
+	}
+	if rep.PADID != meta.ID {
+		return nil, fmt.Errorf("client: PAD server returned %s, requested %s", rep.PADID, meta.ID)
+	}
+	return rep.Module, nil
+}
+
+// TCPAppSession is a persistent APP_REQ/APP_REP session with the
+// application server over INP/TCP.
+type TCPAppSession struct {
+	mu   sync.Mutex
+	conn net.Conn
+	c    *inp.Conn
+}
+
+// DialApp opens an application session.
+func DialApp(addr string) (*TCPAppSession, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing application server %s: %w", addr, err)
+	}
+	return &TCPAppSession{conn: conn, c: inp.NewConn(conn)}, nil
+}
+
+// FetchContent implements ContentFetcher.
+func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep inp.AppRep
+	if err := s.c.Call(inp.MsgAppReq, req, inp.MsgAppRep, &rep); err != nil {
+		return inp.AppRep{}, err
+	}
+	return rep, nil
+}
+
+// Close ends the session.
+func (s *TCPAppSession) Close() error { return s.conn.Close() }
+
+// LocalAppServer adapts an in-process application server to the
+// ContentFetcher interface for simulation and tests.
+type LocalAppServer struct {
+	Encode func(padIDs []string, resource string, haveVersion int) (payload []byte, version int, padID string, err error)
+}
+
+// FetchContent implements ContentFetcher.
+func (l LocalAppServer) FetchContent(req inp.AppReq) (inp.AppRep, error) {
+	payload, version, padID, err := l.Encode(req.ProtocolIDs, req.Resource, req.HaveVersion)
+	if err != nil {
+		return inp.AppRep{}, err
+	}
+	return inp.AppRep{Resource: req.Resource, Version: version, PADID: padID, Payload: payload}, nil
+}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"fractal/internal/cdn"
+	"fractal/internal/core"
+	"fractal/internal/inp"
+	"fractal/internal/mobilecode"
+	"fractal/internal/netsim"
+)
+
+// startPADServer publishes the builtin modules on a TCP PAD server.
+func startPADServer(t *testing.T, idle time.Duration) (addr string, mods []*mobilecode.Module, shutdown func()) {
+	t.Helper()
+	signer, err := mobilecode.NewSigner("pad-operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err = mobilecode.BuildBuiltins("1.0", signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cdn.NewOrigin(netsim.SharedServer{Name: "store", UplinkKbps: 1000, Rho: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mods {
+		packed, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Publish("/pads/"+m.ID, packed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := cdn.NewPADServer(store, 8, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle > 0 {
+		srv.SetIdleTimeout(idle)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), mods, func() {
+		_ = srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("pad server: %v", err)
+		}
+	}
+}
+
+func TestTCPPADFetcherRoundTrip(t *testing.T) {
+	addr, mods, shutdown := startPADServer(t, 0)
+	defer shutdown()
+	f := &TCPPADFetcher{Addr: addr}
+	want := mods[0]
+	got, err := f.FetchPAD(core.PADMeta{ID: want.ID, URL: "/pads/" + want.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := want.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, packed) {
+		t.Fatal("fetched module bytes differ from published")
+	}
+	// URL defaulting from PAD id.
+	if _, err := f.FetchPAD(core.PADMeta{ID: want.ID}); err != nil {
+		t.Fatalf("fetch by id alone failed: %v", err)
+	}
+	// Missing PAD is an in-band error; session-level fetches still work.
+	if _, err := f.FetchPAD(core.PADMeta{ID: "pad-ghost", URL: "/pads/pad-ghost"}); err == nil {
+		t.Fatal("missing PAD fetched")
+	}
+	if _, err := f.FetchPAD(core.PADMeta{ID: want.ID, URL: "/pads/" + want.ID}); err != nil {
+		t.Fatalf("fetch after error failed: %v", err)
+	}
+}
+
+func TestTCPPADFetcherBadAddress(t *testing.T) {
+	f := &TCPPADFetcher{Addr: "127.0.0.1:1"}
+	if _, err := f.FetchPAD(core.PADMeta{ID: "x"}); err == nil {
+		t.Fatal("fetch against dead address succeeded")
+	}
+}
+
+func TestPADServerIdleTimeoutDropsSlowloris(t *testing.T) {
+	addr, _, shutdown := startPADServer(t, 150*time.Millisecond)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server must close the connection.
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("server kept an idle connection open past the timeout")
+	}
+	if strings.Contains(err.Error(), "i/o timeout") {
+		t.Fatal("server never closed the idle connection (client read timed out)")
+	}
+}
+
+func TestCDNFetcherRecordsRetrievals(t *testing.T) {
+	topo, err := cdn.DefaultTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Origin().Publish("/pads/x", bytes.Repeat([]byte("x"), 2048)); err != nil {
+		t.Fatal(err)
+	}
+	f := &CDNFetcher{CDN: topo, Region: "region-0", Link: netsim.WLAN}
+	if _, err := f.FetchPAD(core.PADMeta{ID: "x", URL: "/pads/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FetchPAD(core.PADMeta{ID: "x", URL: "/pads/x"}); err != nil {
+		t.Fatal(err)
+	}
+	rs := f.Retrievals()
+	if len(rs) != 2 {
+		t.Fatalf("recorded %d retrievals, want 2", len(rs))
+	}
+	if rs[0].CacheHit || !rs[1].CacheHit {
+		t.Fatalf("cache pattern = %v/%v, want miss then hit", rs[0].CacheHit, rs[1].CacheHit)
+	}
+}
+
+func TestCDNFetcherSurvivesEdgeFailure(t *testing.T) {
+	topo, err := cdn.DefaultTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Origin().Publish("/pads/x", []byte("module")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := topo.EdgeFor("region-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	home.SetFailed(true)
+	f := &CDNFetcher{CDN: topo, Region: "region-0", Link: netsim.WLAN}
+	got, err := f.FetchPAD(core.PADMeta{ID: "x", URL: "/pads/x"})
+	if err != nil {
+		t.Fatalf("fetch with failed home edge: %v", err)
+	}
+	if string(got) != "module" {
+		t.Fatal("failover fetched wrong bytes")
+	}
+	if f.Retrievals()[0].EdgeID == home.ID {
+		t.Fatal("retrieval recorded against the failed edge")
+	}
+}
+
+func TestLocalAppServerErrorPropagation(t *testing.T) {
+	l := LocalAppServer{Encode: func([]string, string, int) ([]byte, int, string, error) {
+		return nil, 0, "", net.ErrClosed
+	}}
+	if _, err := l.FetchContent(inp.AppReq{}); err == nil {
+		t.Fatal("local server error swallowed")
+	}
+}

@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Gzip compresses content at the server and decompresses at the client
+// using the LZ77-based gzip format, as in the paper's case study.
+type Gzip struct {
+	level int
+}
+
+// NewGzip returns the Gzip protocol at the default compression level.
+func NewGzip() *Gzip { return &Gzip{level: gzip.DefaultCompression} }
+
+// NewGzipLevel returns a Gzip protocol at a specific compression level,
+// used by the ablation benchmarks.
+func NewGzipLevel(level int) (*Gzip, error) {
+	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
+		return nil, fmt.Errorf("codec: gzip level %d out of range", level)
+	}
+	return &Gzip{level: level}, nil
+}
+
+// Name implements Codec.
+func (*Gzip) Name() string { return NameGzip }
+
+// Cost implements Costed. Calibrated on the 500 MHz reference CPU so the
+// case study reproduces the paper's per-environment protocol selections;
+// see DESIGN.md ("Calibration").
+func (*Gzip) Cost() CostModel {
+	return CostModel{ServerNsPerByte: 289, ClientNsPerByte: 289, ServerFixed: 200 * 1000, ClientFixed: 100 * 1000}
+}
+
+// Encode implements Codec: gzip-compress cur; old is ignored.
+func (g *Gzip) Encode(old, cur []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, g.level)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip writer: %w", err)
+	}
+	if _, err := w.Write(cur); err != nil {
+		return nil, fmt.Errorf("codec: gzip compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("codec: gzip flush: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (g *Gzip) Decode(old, payload []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip payload corrupt: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip decompress: %w", err)
+	}
+	return out, nil
+}

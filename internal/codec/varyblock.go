@@ -1,0 +1,180 @@
+package codec
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"fractal/internal/rabin"
+)
+
+// varyMagic identifies a Vary-sized blocking wire payload.
+var varyMagic = []byte("FVB1")
+
+// Wire op tags.
+const (
+	varyOpRef = 0 // copy old chunk by index
+	varyOpLit = 1 // literal bytes follow
+)
+
+// VaryBlock is the LBFS-style vary-sized blocking protocol [34]: files are
+// divided into chunks demarcated where the Rabin fingerprint of the
+// previous 48 bytes matches a specific value, so boundaries follow content
+// even after insertions and deletions. The server chunks both versions,
+// indexes the old chunks by SHA-1 digest, and sends each new chunk either
+// as a reference to an old chunk (wherever it occurs) or as a literal. The
+// client re-chunks its old copy with the identical parameters — which
+// travel inside the PAD — and resolves the references.
+type VaryBlock struct {
+	chunker *rabin.Chunker
+}
+
+// NewVaryBlock returns the protocol with the default LBFS-like chunking
+// parameters (48-byte window, ~2 KB expected chunks).
+func NewVaryBlock() (*VaryBlock, error) {
+	return NewVaryBlockConfig(rabin.DefaultChunkerConfig())
+}
+
+// NewVaryBlockConfig returns the protocol with explicit chunking
+// parameters; both endpoints must use the same configuration.
+func NewVaryBlockConfig(cfg rabin.ChunkerConfig) (*VaryBlock, error) {
+	ch, err := rabin.NewChunker(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("codec: varyblock: %w", err)
+	}
+	return &VaryBlock{chunker: ch}, nil
+}
+
+// Name implements Codec.
+func (*VaryBlock) Name() string { return NameVaryBlock }
+
+// ChunkerConfig returns the chunking parameters in use.
+func (v *VaryBlock) ChunkerConfig() rabin.ChunkerConfig { return v.chunker.Config() }
+
+// Cost implements Costed. The dominant server-side term reproduces the
+// paper's observation that Vary-sized blocking "has huge server side
+// computing time, which disqualifies it ... even if it generates the least
+// transfer bytes"; see DESIGN.md ("Calibration").
+func (*VaryBlock) Cost() CostModel {
+	return CostModel{ServerNsPerByte: 18800, ClientNsPerByte: 2097, ServerFixed: 500 * 1000, ClientFixed: 300 * 1000}
+}
+
+// Encode implements Codec. Payload layout:
+//
+//	"FVB1" | uvarint len(cur) | uvarint len(old) | uvarint nops |
+//	ops: tag 0 => uvarint oldChunkIndex
+//	     tag 1 => uvarint litLen | litLen bytes
+func (v *VaryBlock) Encode(old, cur []byte) ([]byte, error) {
+	oldChunks := v.chunker.Split(old)
+	index := make(map[[sha1.Size]byte]int, len(oldChunks))
+	for i, c := range oldChunks {
+		sum := sha1.Sum(old[c.Offset : c.Offset+c.Length])
+		if _, dup := index[sum]; !dup { // keep first occurrence
+			index[sum] = i
+		}
+	}
+	newChunks := v.chunker.Split(cur)
+	var ops bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	nops := 0
+	for _, c := range newChunks {
+		data := cur[c.Offset : c.Offset+c.Length]
+		sum := sha1.Sum(data)
+		if i, ok := index[sum]; ok && oldChunks[i].Length == c.Length {
+			ops.WriteByte(varyOpRef)
+			ops.Write(tmp[:binary.PutUvarint(tmp[:], uint64(i))])
+		} else {
+			ops.WriteByte(varyOpLit)
+			ops.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(data)))])
+			ops.Write(data)
+		}
+		nops++
+	}
+	out := bytes.NewBuffer(nil)
+	out.Write(varyMagic)
+	for _, u := range []uint64{uint64(len(cur)), uint64(len(old)), uint64(nops)} {
+		out.Write(tmp[:binary.PutUvarint(tmp[:], u)])
+	}
+	out.Write(ops.Bytes())
+	return out.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (v *VaryBlock) Decode(old, payload []byte) ([]byte, error) {
+	r := bytes.NewReader(payload)
+	magic := make([]byte, len(varyMagic))
+	if _, err := readFull(r, magic); err != nil || !bytes.Equal(magic, varyMagic) {
+		return nil, fmt.Errorf("codec: varyblock payload: bad magic")
+	}
+	readU := func(what string) (uint64, error) {
+		u, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("codec: varyblock payload: reading %s: %w", what, err)
+		}
+		return u, nil
+	}
+	curLen, err := readU("content length")
+	if err != nil {
+		return nil, err
+	}
+	if curLen > 1<<32 {
+		return nil, fmt.Errorf("codec: varyblock payload: content length %d unreasonable", curLen)
+	}
+	oldLen, err := readU("old length")
+	if err != nil {
+		return nil, err
+	}
+	if int(oldLen) != len(old) {
+		return nil, fmt.Errorf("codec: varyblock payload encoded against %d-byte old version, receiver holds %d bytes", oldLen, len(old))
+	}
+	nops, err := readU("op count")
+	if err != nil {
+		return nil, err
+	}
+	if nops > curLen+1 {
+		return nil, fmt.Errorf("codec: varyblock payload: %d ops for %d bytes is impossible", nops, curLen)
+	}
+	oldChunks := v.chunker.Split(old)
+	out := make([]byte, 0, curLen)
+	for op := uint64(0); op < nops; op++ {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("codec: varyblock payload: truncated at op %d: %w", op, err)
+		}
+		switch tag {
+		case varyOpRef:
+			idx, err := readU("chunk index")
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(oldChunks)) {
+				return nil, fmt.Errorf("codec: varyblock payload references old chunk %d of %d", idx, len(oldChunks))
+			}
+			c := oldChunks[idx]
+			out = append(out, old[c.Offset:c.Offset+c.Length]...)
+		case varyOpLit:
+			n, err := readU("literal length")
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(r.Len()) {
+				return nil, fmt.Errorf("codec: varyblock payload: literal of %d bytes exceeds remaining %d", n, r.Len())
+			}
+			lit := make([]byte, n)
+			if _, err := readFull(r, lit); err != nil {
+				return nil, fmt.Errorf("codec: varyblock payload: truncated literal: %w", err)
+			}
+			out = append(out, lit...)
+		default:
+			return nil, fmt.Errorf("codec: varyblock payload: unknown op tag %d", tag)
+		}
+	}
+	if uint64(len(out)) != curLen {
+		return nil, fmt.Errorf("codec: varyblock payload reconstructed %d bytes, header says %d", len(out), curLen)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("codec: varyblock payload has %d trailing bytes", r.Len())
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// CacheKey identifies one negotiation outcome: the paper's adaptation
+// cache maps { DevMeta, Application ID, NtwkMeta } to the PADMeta array
+// the client needs. Principal extends the key for the access-control
+// extension — two clients with identical environments but different
+// authorization must not share results.
+type CacheKey struct {
+	AppID     string
+	Principal string
+	Dev       DevMeta
+	Ntwk      NtwkMeta
+}
+
+// String renders the canonical key.
+func (k CacheKey) String() string {
+	return fmt.Sprintf("app=%s|who=%s|%s|%s", k.AppID, k.Principal, k.Dev.Key(), k.Ntwk.Key())
+}
+
+// CacheStats counts adaptation-cache behaviour.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// AdaptationCache is the distribution manager's negotiation-result cache,
+// bounded by entry count with LRU eviction. It is safe for concurrent use.
+type AdaptationCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *adaptEntry
+	entries map[string]*list.Element
+	stats   CacheStats
+}
+
+type adaptEntry struct {
+	key  string
+	pads []PADMeta
+}
+
+// NewAdaptationCache builds a cache holding at most capacity entries.
+func NewAdaptationCache(capacity int) (*AdaptationCache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: adaptation cache capacity must be positive, got %d", capacity)
+	}
+	return &AdaptationCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}, nil
+}
+
+// Get returns the cached negotiation result for a client configuration.
+func (c *AdaptationCache) Get(k CacheKey) ([]PADMeta, bool) {
+	key := k.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	pads := el.Value.(*adaptEntry).pads
+	return append([]PADMeta(nil), pads...), true
+}
+
+// Put stores a negotiation result, evicting the least recently used entry
+// if the cache is full.
+func (c *AdaptationCache) Put(k CacheKey, pads []PADMeta) {
+	key := k.String()
+	cp := append([]PADMeta(nil), pads...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*adaptEntry).pads = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&adaptEntry{key: key, pads: cp})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*adaptEntry)
+		c.order.Remove(back)
+		delete(c.entries, ent.key)
+		c.stats.Evictions++
+	}
+}
+
+// Invalidate drops every entry for an application, used when the server
+// pushes a new AppMeta (topology change).
+func (c *AdaptationCache) Invalidate(appID string) int {
+	prefix := fmt.Sprintf("app=%s|", appID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*adaptEntry)
+		if len(ent.key) >= len(prefix) && ent.key[:len(prefix)] == prefix {
+			c.order.Remove(el)
+			delete(c.entries, ent.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Len returns the number of cached configurations.
+func (c *AdaptationCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit/miss/eviction counters.
+func (c *AdaptationCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PathResult is the outcome of the adaptation path search: the PADs (with
+// symbolic links resolved) forming the least-total-overhead root-to-leaf
+// path, their summed overhead in seconds, and the per-node breakdowns.
+type PathResult struct {
+	PADs      []PADMeta
+	NodeIDs   []string // tree node ids, which may include symbolic links
+	Total     float64
+	Breakdown map[string]Breakdown // keyed by tree node id
+}
+
+// ErrNoFeasiblePath is returned (wrapped) when every root-to-leaf path has
+// infinite total overhead for the environment.
+var ErrNoFeasiblePath = fmt.Errorf("core: no feasible adaptation path")
+
+// FindPath implements the adaptation path search algorithm (Figure 6):
+// mark every PAT node with its total overhead from Equation 3 — infinity
+// meaning "not suitable for this client environment" — then traverse each
+// root-to-leaf path depth-first and return the one with the least sum.
+func FindPath(t *PAT, m OverheadModel, env Env) (PathResult, error) {
+	return FindPathFiltered(t, m, env, nil)
+}
+
+// FindPathFiltered is FindPath with an authorization filter: PADs for
+// which allow returns false are marked infeasible before the search, the
+// hook used by the proxy's access-control extension. A nil filter allows
+// everything.
+func FindPathFiltered(t *PAT, m OverheadModel, env Env, allow func(PADMeta) bool) (PathResult, error) {
+	if t == nil {
+		return PathResult{}, fmt.Errorf("core: FindPath on nil PAT")
+	}
+	if err := m.Validate(); err != nil {
+		return PathResult{}, err
+	}
+	if err := env.Validate(); err != nil {
+		return PathResult{}, err
+	}
+
+	// Step 1: mark each node with its total overhead (resolving symbolic
+	// links so an alias inherits its target's cost).
+	marks := map[string]Breakdown{}
+	for _, id := range t.allIDs() {
+		meta, err := t.Resolve(id)
+		if err != nil {
+			return PathResult{}, err
+		}
+		if allow != nil && !allow(meta) {
+			marks[id] = Breakdown{ClientComp: math.Inf(1)}
+			continue
+		}
+		b, err := m.PADTotal(meta, env)
+		if err != nil {
+			return PathResult{}, fmt.Errorf("core: marking PAD %s: %w", id, err)
+		}
+		marks[id] = b
+	}
+
+	// Step 2: DFS over root-to-leaf paths keeping the least total.
+	best := PathResult{Total: math.Inf(1)}
+	for _, path := range t.Paths() {
+		total := 0.0
+		for _, id := range path {
+			total += marks[id].Total()
+		}
+		if total < best.Total {
+			best = PathResult{NodeIDs: append([]string(nil), path...), Total: total}
+		}
+	}
+	if math.IsInf(best.Total, 1) {
+		return PathResult{}, fmt.Errorf("%w for app %s in env {%s %s}", ErrNoFeasiblePath, t.AppID(), env.Dev.Key(), env.Ntwk.Key())
+	}
+
+	best.Breakdown = map[string]Breakdown{}
+	for _, id := range best.NodeIDs {
+		meta, err := t.Resolve(id)
+		if err != nil {
+			return PathResult{}, err
+		}
+		best.PADs = append(best.PADs, meta)
+		best.Breakdown[id] = marks[id]
+	}
+	return best, nil
+}
+
+// allIDs returns every node id in deterministic order.
+func (t *PAT) allIDs() []string {
+	ids := make([]string, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

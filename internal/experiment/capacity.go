@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"fractal/internal/core"
+	"fractal/internal/netsim"
+	"fractal/internal/workload"
+)
+
+// CapacityRow reports the application server's sustainable request rate
+// under one adaptation scenario: the paper's contribution list claims the
+// framework "greatly improves both the client side and server side
+// performance, e.g., the system capacity". Server capacity is bounded by
+// the per-request server-side computing of the protocol each client
+// population uses.
+type CapacityRow struct {
+	Scenario        Scenario
+	ServerSecPerReq float64
+	MaxReqPerSec    float64
+}
+
+// CapacityResult is the scenario comparison driven by a Zipf request
+// trace over the paper's three client populations in equal shares.
+type CapacityResult struct {
+	TraceRequests int
+	Rows          []CapacityRow
+}
+
+// RunCapacity replays a request trace under each scenario and derives the
+// server-side computing demand per request, hence the requests/second one
+// application server sustains when CPU-bound.
+func RunCapacity(s *Setup, trace []workload.Request) (CapacityResult, error) {
+	if len(trace) == 0 {
+		return CapacityResult{}, fmt.Errorf("experiment: capacity needs a trace")
+	}
+	stations := netsim.Stations()
+	model := s.Model
+	out := CapacityResult{TraceRequests: len(trace)}
+	for _, sc := range []Scenario{ScenarioNone, ScenarioStatic, ScenarioAdaptive} {
+		var busy time.Duration
+		for _, req := range trace {
+			st := stations[req.Client%len(stations)]
+			env := EnvFor(st)
+			proto, err := s.protocolFor(sc, env, model.IncludeServerComp)
+			if err != nil {
+				return CapacityResult{}, fmt.Errorf("experiment: capacity %s: %w", sc, err)
+			}
+			pad, err := s.PADByProtocol(proto)
+			if err != nil {
+				return CapacityResult{}, err
+			}
+			// Server compute scaled from the reference CPU to the
+			// deployment server.
+			busy += time.Duration(float64(pad.Overhead.ServerCompStd) *
+				core.StdCPUMHz / model.ServerCPUMHz)
+		}
+		perReq := busy.Seconds() / float64(len(trace))
+		row := CapacityRow{Scenario: sc, ServerSecPerReq: perReq}
+		if perReq > 0 {
+			row.MaxReqPerSec = 1 / perReq
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render renders the comparison.
+func (r CapacityResult) Render() []string {
+	rows := []string{fmt.Sprintf("scenario\tserver_cpu_per_request\tmax_req_per_sec\t(trace %d requests)", r.TraceRequests)}
+	for _, row := range r.Rows {
+		rate := "unbounded (no server computing)"
+		if row.MaxReqPerSec > 0 {
+			rate = fmt.Sprintf("%.1f", row.MaxReqPerSec)
+		}
+		rows = append(rows, fmt.Sprintf("%s\t%s\t%s", row.Scenario, secs(row.ServerSecPerReq), rate))
+	}
+	return rows
+}

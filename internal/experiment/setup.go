@@ -1,0 +1,160 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 4.4) against the simulated substrate. Each
+// experiment returns a typed result whose Rows/String render the same
+// series the paper plots; tests in this package assert the qualitative
+// shapes the paper reports (who wins where, which curves stay flat, where
+// the Bitmap→Vary flip happens).
+package experiment
+
+import (
+	"fmt"
+
+	"fractal/internal/appserver"
+	"fractal/internal/cdn"
+	"fractal/internal/core"
+	"fractal/internal/mobilecode"
+	"fractal/internal/netsim"
+	"fractal/internal/proxy"
+	"fractal/internal/workload"
+)
+
+// SetupConfig parameterizes the experimental platform of Figure 7.
+type SetupConfig struct {
+	Pages           int   // corpus size (75 in the paper)
+	Seed            int64 // workload determinism
+	Edges           int   // CDN edgeservers standing in for PlanetLab nodes
+	SessionRequests int   // requests per application session
+	SamplePages     int   // pages used to pre-measure PAD overheads
+	CacheCapacity   int   // adaptation-cache entries at the proxy
+}
+
+// DefaultSetupConfig matches the paper's platform.
+func DefaultSetupConfig() SetupConfig {
+	return SetupConfig{
+		Pages:           workload.DefaultPages,
+		Seed:            2005, // IPPS 2005
+		Edges:           10,
+		SessionRequests: 75,
+		SamplePages:     8,
+		CacheCapacity:   1024,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c SetupConfig) Validate() error {
+	if c.Pages < 1 || c.Edges < 1 || c.SessionRequests < 1 || c.SamplePages < 1 || c.CacheCapacity < 1 {
+		return fmt.Errorf("experiment: all setup counts must be >= 1: %+v", c)
+	}
+	return nil
+}
+
+// Setup is a fully wired Fractal deployment on the simulated platform.
+type Setup struct {
+	Config  SetupConfig
+	App     *appserver.Server
+	Proxy   *proxy.Proxy
+	CDN     *cdn.CDN
+	AppMeta core.AppMeta
+	Trust   *mobilecode.TrustList
+	V1, V2  *workload.Corpus
+	Model   core.OverheadModel
+}
+
+// NewSetup builds the experimental platform: the 75-page two-version
+// corpus, the application server with all four PADs deployed and measured,
+// the adaptation proxy with the pushed topology, and the CDN with
+// published modules.
+func NewSetup(cfg SetupConfig) (*Setup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	signer, err := mobilecode.NewSigner("app-operator")
+	if err != nil {
+		return nil, err
+	}
+	app, err := appserver.New("webapp", signer)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workload.DefaultConfig(cfg.Seed)
+	wcfg.Pages = cfg.Pages
+	v1, err := workload.Generate(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating corpus: %w", err)
+	}
+	v2, err := workload.MutateCorpus(v1, workload.DefaultMutation(cfg.Seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: evolving corpus: %w", err)
+	}
+	if err := app.InstallCorpus(v1, v2); err != nil {
+		return nil, err
+	}
+	if err := app.DeployPADs("1.0"); err != nil {
+		return nil, err
+	}
+	appMeta, err := app.MeasureAppMeta(cfg.SamplePages)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := core.CaseStudyMatrices()
+	if err != nil {
+		return nil, err
+	}
+	model := core.OverheadModel{
+		Matrices:          ms,
+		Rho:               netsim.DefaultRho,
+		ServerCPUMHz:      netsim.ServerDevice.CPUMHz,
+		IncludeServerComp: true,
+		SessionRequests:   cfg.SessionRequests,
+	}
+	px, err := proxy.New(model, cfg.CacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := px.PushAppMeta(appMeta); err != nil {
+		return nil, err
+	}
+	topo, err := cdn.DefaultTopology(cfg.Edges)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.PublishPADs(topo.Origin()); err != nil {
+		return nil, err
+	}
+	trust := mobilecode.NewTrustList()
+	entity, key := app.TrustedKey()
+	if err := trust.Add(entity, key); err != nil {
+		return nil, err
+	}
+	return &Setup{
+		Config: cfg, App: app, Proxy: px, CDN: topo,
+		AppMeta: appMeta, Trust: trust, V1: v1, V2: v2, Model: model,
+	}, nil
+}
+
+// EnvFor converts a simulator station into negotiation metadata, the
+// client-side "probing the system using system calls".
+func EnvFor(st netsim.Station) core.Env {
+	return core.Env{
+		Dev: core.DevMeta{
+			OSType:  string(st.Device.OS),
+			CPUType: string(st.Device.CPU),
+			CPUMHz:  st.Device.CPUMHz,
+			MemMB:   st.Device.MemMB,
+		},
+		Ntwk: core.NtwkMeta{
+			NetworkType:   string(st.Link.Type),
+			BandwidthKbps: st.Link.BandwidthKbps,
+		},
+	}
+}
+
+// PADByProtocol finds the measured PADMeta for a protocol name.
+func (s *Setup) PADByProtocol(proto string) (core.PADMeta, error) {
+	for _, p := range s.AppMeta.PADs {
+		if p.Protocol == proto {
+			return p, nil
+		}
+	}
+	return core.PADMeta{}, fmt.Errorf("experiment: no PAD for protocol %q", proto)
+}

@@ -1,0 +1,63 @@
+package inp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Conn is a sequential INP endpoint over a byte stream: it stamps outgoing
+// sequence numbers and offers a call helper for the request/response
+// pattern of Figure 4. A Conn serves one session and is not safe for
+// concurrent use.
+type Conn struct {
+	rw  io.ReadWriter
+	seq uint32
+}
+
+// NewConn wraps a byte stream (typically a net.Conn).
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send frames and writes one message with the next sequence number.
+func (c *Conn) Send(t MsgType, body interface{}) error {
+	c.seq++
+	return WriteMessage(c.rw, Header{Version: Version, Type: t, Seq: c.seq}, body)
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (Header, []byte, error) {
+	return ReadMessage(c.rw)
+}
+
+// RecvInto reads the next message, requires it to be of the wanted type,
+// and decodes it into reply. A peer MsgError is surfaced as an error.
+func (c *Conn) RecvInto(want MsgType, reply interface{}) error {
+	h, raw, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if h.Type == MsgError {
+		var e ErrorRep
+		if derr := DecodeBody(raw, &e); derr == nil && e.Message != "" {
+			return fmt.Errorf("inp: peer error: %s", e.Message)
+		}
+		return fmt.Errorf("inp: peer error (unparseable body)")
+	}
+	if h.Type != want {
+		return fmt.Errorf("inp: expected %v, got %v", want, h.Type)
+	}
+	return DecodeBody(raw, reply)
+}
+
+// Call sends a request and decodes the matching reply type.
+func (c *Conn) Call(t MsgType, body interface{}, want MsgType, reply interface{}) error {
+	if err := c.Send(t, body); err != nil {
+		return err
+	}
+	return c.RecvInto(want, reply)
+}
+
+// SendError reports a failure to the peer; it is best-effort and returns
+// the write error for logging.
+func (c *Conn) SendError(msg string) error {
+	return c.Send(MsgError, ErrorRep{Message: msg})
+}

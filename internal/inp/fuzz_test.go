@@ -1,0 +1,28 @@
+package inp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage hardens the frame parser against adversarial bytes: it
+// must never panic and never allocate unbounded buffers.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteMessage(&seed, Header{Version: Version, Type: MsgInitReq, Seq: 1}, InitReq{AppID: "a"})
+	f.Add(seed.Bytes())
+	f.Add([]byte("INP1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, body, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h.Type == MsgInvalid || h.Type >= msgMax {
+			t.Fatalf("parser accepted invalid type %v", h.Type)
+		}
+		if len(body) > MaxBody {
+			t.Fatalf("parser returned %d-byte body beyond limit", len(body))
+		}
+	})
+}

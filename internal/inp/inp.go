@@ -1,0 +1,230 @@
+// Package inp implements the Interactive Negotiation Protocol of Section
+// 3.3 (Figure 4): the framed message exchange between client, adaptation
+// proxy, CDN, and application server. Every packet carries an INP header
+// maintaining protocol integrity (magic, version, type, sequence number,
+// body length); bodies are JSON for inspectability.
+package inp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fractal/internal/core"
+)
+
+// MsgType identifies an INP message (Figure 4's message formats).
+type MsgType uint8
+
+// The message types of the negotiation and application exchanges.
+const (
+	MsgInvalid MsgType = iota
+	MsgInitReq
+	MsgInitRep
+	MsgCliMetaReq
+	MsgCliMetaRep
+	MsgPADMetaRep
+	MsgPADDownloadReq
+	MsgPADDownloadRep
+	MsgAppReq
+	MsgAppRep
+	MsgError
+	MsgAppMetaPush
+	MsgAppMetaAck
+	msgMax
+)
+
+var msgNames = map[MsgType]string{
+	MsgInitReq:        "INIT_REQ",
+	MsgInitRep:        "INIT_REP",
+	MsgCliMetaReq:     "CLI_META_REQ",
+	MsgCliMetaRep:     "CLI_META_REP",
+	MsgPADMetaRep:     "PAD_META_REP",
+	MsgPADDownloadReq: "PAD_DOWNLOAD_REQ",
+	MsgPADDownloadRep: "PAD_DOWNLOAD_REP",
+	MsgAppReq:         "APP_REQ",
+	MsgAppRep:         "APP_REP",
+	MsgError:          "ERROR",
+	MsgAppMetaPush:    "APP_META_PUSH",
+	MsgAppMetaAck:     "APP_META_ACK",
+}
+
+// String returns the paper's message name.
+func (t MsgType) String() string {
+	if n, ok := msgNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MSG(%d)", uint8(t))
+}
+
+// Protocol constants.
+const (
+	// Version is the INP protocol version carried in every header.
+	Version = 1
+	// MaxBody bounds a message body; larger frames are rejected before
+	// allocation.
+	MaxBody = 64 << 20
+	// headerLen is the fixed frame header size: magic(4) version(1)
+	// type(1) reserved(2) seq(4) length(4).
+	headerLen = 16
+)
+
+var magic = [4]byte{'I', 'N', 'P', '1'}
+
+// Header is the INP header segment present in each packet.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Seq     uint32
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, h Header, body interface{}) error {
+	if h.Type == MsgInvalid || h.Type >= msgMax {
+		return fmt.Errorf("inp: cannot write message of type %v", h.Type)
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("inp: encoding %v body: %w", h.Type, err)
+	}
+	if len(raw) > MaxBody {
+		return fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, len(raw))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[0:4], magic[:])
+	hdr[4] = h.Version
+	hdr[5] = uint8(h.Type)
+	binary.BigEndian.PutUint32(hdr[8:12], h.Seq)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("inp: writing %v header: %w", h.Type, err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return fmt.Errorf("inp: writing %v body: %w", h.Type, err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message, returning its header and raw body.
+func ReadMessage(r io.Reader) (Header, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("inp: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return Header{}, nil, fmt.Errorf("inp: bad magic %q", hdr[0:4])
+	}
+	h := Header{Version: hdr[4], Type: MsgType(hdr[5]), Seq: binary.BigEndian.Uint32(hdr[8:12])}
+	if h.Version != Version {
+		return Header{}, nil, fmt.Errorf("inp: unsupported protocol version %d", h.Version)
+	}
+	if h.Type == MsgInvalid || h.Type >= msgMax {
+		return Header{}, nil, fmt.Errorf("inp: unknown message type %d", hdr[5])
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > MaxBody {
+		return Header{}, nil, fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Header{}, nil, fmt.Errorf("inp: reading %v body: %w", h.Type, err)
+	}
+	return h, body, nil
+}
+
+// DecodeBody unmarshals a raw body into a typed message.
+func DecodeBody(raw []byte, v interface{}) error {
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("inp: decoding body: %w", err)
+	}
+	return nil
+}
+
+// --- message bodies (Figure 4, bottom) ---
+
+// InitReq opens a negotiation; its payload is the application request.
+// ClientID optionally identifies an authenticated principal for the
+// proxy's access-control policy (empty = anonymous).
+type InitReq struct {
+	AppID    string `json:"app_id"`
+	Resource string `json:"resource"`
+	ClientID string `json:"client_id,omitempty"`
+}
+
+// InitRep acknowledges INIT_REQ.
+type InitRep struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// CliMetaReq carries empty DevMeta/NtwkMeta templates "to be filled by
+// the client".
+type CliMetaReq struct {
+	Dev  core.DevMeta  `json:"dev"`
+	Ntwk core.NtwkMeta `json:"ntwk"`
+}
+
+// CliMetaRep returns the client's probed metadata plus the expected
+// session length used to amortize PAD downloads.
+type CliMetaRep struct {
+	Dev             core.DevMeta  `json:"dev"`
+	Ntwk            core.NtwkMeta `json:"ntwk"`
+	SessionRequests int           `json:"session_requests"`
+}
+
+// PADMetaRep delivers the negotiated PAD metadata array (redacted: no tree
+// links), with digests and URLs inserted by the distribution manager.
+type PADMetaRep struct {
+	PADs []core.PADMeta `json:"pads"`
+}
+
+// PADDownloadReq asks a PAD server/edge for a module by id.
+type PADDownloadReq struct {
+	PADID string `json:"pad_id"`
+	URL   string `json:"url"`
+}
+
+// PADDownloadRep returns the packed mobile-code module.
+type PADDownloadRep struct {
+	PADID  string `json:"pad_id"`
+	Module []byte `json:"module"`
+}
+
+// AppReq starts (or continues) the application session, carrying the
+// negotiated protocol identifications so the server selects matching PADs.
+type AppReq struct {
+	AppID       string   `json:"app_id"`
+	Resource    string   `json:"resource"`
+	ProtocolIDs []string `json:"protocol_ids"`
+	// HaveVersion tells the server which version of the resource the
+	// client already holds (0 = none), enabling differential encoding.
+	HaveVersion int `json:"have_version"`
+}
+
+// AppRep returns the adapted application content.
+type AppRep struct {
+	Resource string `json:"resource"`
+	Version  int    `json:"version"`
+	PADID    string `json:"pad_id"`
+	Payload  []byte `json:"payload"`
+}
+
+// ErrorRep reports a failure to the peer.
+type ErrorRep struct {
+	Message string `json:"message"`
+}
+
+// AppMetaPush is the application server's topology push to the adaptation
+// proxy ("The application server pushes new AppMeta to the negotiation
+// manager when the protocol adaptation topology is first created or
+// changed later").
+type AppMetaPush struct {
+	App core.AppMeta `json:"app"`
+}
+
+// AppMetaAck acknowledges a topology push.
+type AppMetaAck struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}

@@ -1,0 +1,43 @@
+package mobilecode_test
+
+import (
+	"fmt"
+
+	"fractal/internal/mobilecode"
+)
+
+// A PAD program is tiny assembly over codec primitives; this one
+// compresses content only when it exceeds a threshold.
+func ExampleAssemble() {
+	prog, err := mobilecode.Assemble(`
+		SIZE            ; len(content)
+		PUSH 64
+		LT              ; small?
+		JZ big
+		CALL identity   ; send tiny content as-is
+		HALT
+	big:
+		CALL gzip.encode
+		HALT`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	hosts, err := mobilecode.HostTable(nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	vm, err := mobilecode.NewVM(hosts, mobilecode.DefaultSandbox())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	small, err := vm.Run(prog, [][]byte{[]byte("short")})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("small input passes through: %q\n", small[len(small)-1])
+	// Output: small input passes through: "short"
+}

@@ -1,0 +1,54 @@
+package mobilecode
+
+import "testing"
+
+// FuzzUnpack hardens module unpacking: arbitrary bytes must be rejected
+// cleanly (no panic), and anything accepted must satisfy the digest
+// invariant by construction.
+func FuzzUnpack(f *testing.F) {
+	signer, err := NewSigner("fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	bin, err := MustAssemble("CALL identity\nHALT").MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := NewModule("pad-fuzz", "1", Payload{Protocol: "direct", Encode: bin, Decode: bin}, signer)
+	if err != nil {
+		f.Fatal(err)
+	}
+	packed, err := m.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(packed)
+	f.Add([]byte("FMC1junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		if u.ID == "" {
+			t.Fatal("unpacked module with empty id")
+		}
+	})
+}
+
+// FuzzUnmarshalProgram hardens program decoding.
+func FuzzUnmarshalProgram(f *testing.F) {
+	bin, err := MustAssemble("PUSH 5\nJZ done\nCALL identity\ndone:\nHALT").MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalProgram(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid program: %v", err)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package mobilecode
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// moduleMagic identifies a packed PAD module on the wire and in CDN
+// storage.
+var moduleMagic = []byte("FMC1")
+
+// Payload is the executable content of a PAD module: the encode and
+// decode programs plus configuration parameters consumed by the host
+// functions (block sizes, chunker settings, compression level, ...).
+type Payload struct {
+	Protocol string            `json:"protocol"`
+	Encode   []byte            `json:"encode"` // Program.MarshalBinary output
+	Decode   []byte            `json:"decode"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// Module is a packaged, signed PAD: the mobile-code unit distributed
+// through the CDN.
+type Module struct {
+	ID      string
+	Version string
+	Entity  string // signing entity
+	Payload []byte // JSON-encoded Payload
+	Digest  [sha1.Size]byte
+	Sig     []byte
+}
+
+// NewModule packages a payload into a signed module.
+func NewModule(id, version string, p Payload, signer *Signer) (*Module, error) {
+	if id == "" || version == "" {
+		return nil, fmt.Errorf("mobilecode: module needs id and version, got %q/%q", id, version)
+	}
+	if signer == nil {
+		return nil, errors.New("mobilecode: module needs a signer")
+	}
+	if p.Protocol == "" {
+		return nil, errors.New("mobilecode: payload needs a protocol name")
+	}
+	if _, err := UnmarshalProgram(p.Encode); err != nil {
+		return nil, fmt.Errorf("mobilecode: payload encode program: %w", err)
+	}
+	if _, err := UnmarshalProgram(p.Decode); err != nil {
+		return nil, fmt.Errorf("mobilecode: payload decode program: %w", err)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("mobilecode: encoding payload: %w", err)
+	}
+	m := &Module{ID: id, Version: version, Entity: signer.Entity, Payload: raw}
+	m.Digest = sha1.Sum(raw)
+	m.Sig = signer.Sign(id, version, m.Digest)
+	return m, nil
+}
+
+// DecodePayload parses the module's payload envelope.
+func (m *Module) DecodePayload() (Payload, error) {
+	var p Payload
+	if err := json.Unmarshal(m.Payload, &p); err != nil {
+		return Payload{}, fmt.Errorf("mobilecode: module %s payload corrupt: %w", m.ID, err)
+	}
+	return p, nil
+}
+
+// Size returns the packed wire size of the module, the PAD size used by
+// the overhead model.
+func (m *Module) Size() int64 {
+	b, err := m.Pack()
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// Pack serializes the module for CDN storage and transport:
+//
+//	"FMC1" | str id | str version | str entity |
+//	bytes payload | digest (20B) | bytes signature
+//
+// where str/bytes are uvarint-length-prefixed.
+func (m *Module) Pack() ([]byte, error) {
+	if len(m.Sig) != ed25519.SignatureSize {
+		return nil, fmt.Errorf("mobilecode: module %s has %d-byte signature, want %d", m.ID, len(m.Sig), ed25519.SignatureSize)
+	}
+	var out bytes.Buffer
+	out.Write(moduleMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	writeBytes := func(b []byte) {
+		out.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(b)))])
+		out.Write(b)
+	}
+	writeBytes([]byte(m.ID))
+	writeBytes([]byte(m.Version))
+	writeBytes([]byte(m.Entity))
+	writeBytes(m.Payload)
+	out.Write(m.Digest[:])
+	writeBytes(m.Sig)
+	return out.Bytes(), nil
+}
+
+// Unpack parses a packed module. It checks structure and the payload
+// digest but NOT the signature — signature verification needs a trust
+// list and belongs to the Loader.
+func Unpack(data []byte) (*Module, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(moduleMagic))
+	if _, err := readFullR(r, magic); err != nil || !bytes.Equal(magic, moduleMagic) {
+		return nil, errors.New("mobilecode: not a PAD module (bad magic)")
+	}
+	readBytes := func(what string, max uint64) ([]byte, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("mobilecode: module %s length: %w", what, err)
+		}
+		if n > max {
+			return nil, fmt.Errorf("mobilecode: module %s of %d bytes is unreasonable", what, n)
+		}
+		b := make([]byte, n)
+		if _, err := readFullR(r, b); err != nil {
+			return nil, fmt.Errorf("mobilecode: module %s truncated: %w", what, err)
+		}
+		return b, nil
+	}
+	id, err := readBytes("id", 1024)
+	if err != nil {
+		return nil, err
+	}
+	version, err := readBytes("version", 1024)
+	if err != nil {
+		return nil, err
+	}
+	entity, err := readBytes("entity", 1024)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readBytes("payload", 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{ID: string(id), Version: string(version), Entity: string(entity), Payload: payload}
+	if _, err := readFullR(r, m.Digest[:]); err != nil {
+		return nil, fmt.Errorf("mobilecode: module digest truncated: %w", err)
+	}
+	if m.Sig, err = readBytes("signature", 1024); err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mobilecode: module has %d trailing bytes", r.Len())
+	}
+	if got := sha1.Sum(m.Payload); got != m.Digest {
+		return nil, fmt.Errorf("mobilecode: module %s payload digest mismatch (corrupted in transit?)", m.ID)
+	}
+	return m, nil
+}
+
+// readFullR fills buf from r with io.ReadFull semantics.
+func readFullR(r *bytes.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

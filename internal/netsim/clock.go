@@ -1,0 +1,130 @@
+// Package netsim provides the simulated execution environment Fractal's
+// experiments run on: a deterministic discrete-event virtual clock, network
+// link models with application-level efficiency, device profiles with
+// CPU-speed scaling, and a capacity-bounded server model for contention
+// experiments.
+//
+// The paper's testbed (physical desktop/laptop/PDA hosts on LAN/WLAN/
+// Bluetooth, plus PlanetLab nodes) is replaced by these models; DESIGN.md
+// documents why each substitution preserves the behaviour the evaluation
+// measures.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is the time source used by simulated components. Implementations
+// must be safe for use from a single simulation goroutine; the discrete
+// event loop itself is single-threaded by design so results are
+// deterministic and repeatable.
+type Clock interface {
+	// Now returns the current virtual time as an offset from the start of
+	// the simulation.
+	Now() time.Duration
+}
+
+// event is a scheduled callback in the virtual timeline.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker preserving schedule order at equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// VirtualClock is a discrete-event simulation clock. Events are executed in
+// timestamp order; executing an event may schedule further events. The zero
+// value is ready to use.
+type VirtualClock struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// NewVirtualClock returns a clock positioned at time zero with an empty
+// event queue.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Duration { return c.now }
+
+// Schedule registers fn to run delay after the current virtual time.
+// A negative delay is treated as zero.
+func (c *VirtualClock) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: c.now + delay, seq: c.seq, fn: fn})
+}
+
+// Run drains the event queue, advancing virtual time to each event's
+// timestamp before invoking it. It returns the final virtual time.
+func (c *VirtualClock) Run() time.Duration {
+	for c.events.Len() > 0 {
+		e := heap.Pop(&c.events).(*event)
+		if e.at > c.now {
+			c.now = e.at
+		}
+		e.fn()
+	}
+	return c.now
+}
+
+// Step executes the single earliest pending event, if any, and reports
+// whether one was executed.
+func (c *VirtualClock) Step() bool {
+	if c.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(*event)
+	if e.at > c.now {
+		c.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// Pending returns the number of events waiting in the queue.
+func (c *VirtualClock) Pending() int { return c.events.Len() }
+
+// Seconds converts a floating-point second count into a Duration, guarding
+// against negative and non-finite inputs which would otherwise corrupt the
+// timeline.
+func Seconds(s float64) (time.Duration, error) {
+	if s < 0 || s != s || s > 1e12 {
+		return 0, fmt.Errorf("netsim: invalid duration %v seconds", s)
+	}
+	return time.Duration(s * float64(time.Second)), nil
+}
+
+// MustSeconds is Seconds for known-good constants; it panics on invalid
+// input and is intended for package-level literals only.
+func MustSeconds(s float64) time.Duration {
+	d, err := Seconds(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

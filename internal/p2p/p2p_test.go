@@ -1,0 +1,199 @@
+package p2p
+
+import (
+	"bytes"
+	"testing"
+
+	"fractal/internal/netsim"
+	"fractal/internal/workload"
+)
+
+func corpusChain(t testing.TB, seed int64) []*workload.Corpus {
+	t.Helper()
+	v1, err := workload.Generate(workload.Config{
+		Pages: 3, TextBytes: 2048, Images: 2, ImageBytes: 16384, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := workload.MutateCorpus(v1, workload.DefaultMutation(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*workload.Corpus{v1, v2}
+}
+
+func twoPeers(t testing.TB) (*Peer, *Peer, []*workload.Corpus, []*workload.Corpus) {
+	t.Helper()
+	chainA := corpusChain(t, 300)
+	chainB := corpusChain(t, 400)
+	a, err := NewPeer(Config{Name: "workstation", Station: netsim.Desktop, Versions: chainA, SessionRequests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPeer(Config{Name: "handheld", Station: netsim.PDA, Versions: chainB, SessionRequests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Trust(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Trust(a); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, chainA, chainB
+}
+
+func TestNewPeerValidation(t *testing.T) {
+	chain := corpusChain(t, 500)
+	if _, err := NewPeer(Config{Station: netsim.Desktop, Versions: chain}); err == nil {
+		t.Error("anonymous peer accepted")
+	}
+	if _, err := NewPeer(Config{Name: "x", Station: netsim.Desktop}); err == nil {
+		t.Error("contentless peer accepted")
+	}
+}
+
+func TestPeerFetchBothDirections(t *testing.T) {
+	a, b, chainA, chainB := twoPeers(t)
+	// The PDA peer fetches from the workstation...
+	got, err := b.Fetch(a, "page-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, chainA[1].Pages[0].Bytes()) {
+		t.Fatal("b<-a content mismatch")
+	}
+	// ...and the workstation fetches from the PDA.
+	got, err = a.Fetch(b, "page-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, chainB[1].Pages[1].Bytes()) {
+		t.Fatal("a<-b content mismatch")
+	}
+}
+
+func TestPeerDirectionsNegotiateIndependently(t *testing.T) {
+	a, b, _, _ := twoPeers(t)
+	// Both directions share the Bluetooth bottleneck (the PDA end), but
+	// the negotiation happens per-direction against different PATs and
+	// environments; both must succeed and deliver adapted protocols.
+	toA, err := b.NegotiatedWith(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toB, err := a.NegotiatedWith(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toA) == 0 || len(toB) == 0 {
+		t.Fatal("empty negotiation result")
+	}
+	// The PDA consumer over Bluetooth should land on a differencing
+	// protocol, never plain direct.
+	if toA[0].Protocol == "direct" {
+		t.Errorf("PDA<-workstation negotiated direct over Bluetooth")
+	}
+}
+
+func TestPeerDifferentialRepeatFetch(t *testing.T) {
+	a, b, _, _ := twoPeers(t)
+	if _, err := b.Fetch(a, "page-002"); err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fetch(a, "page-002"); err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := second.PayloadBytes - first.PayloadBytes
+	if delta >= first.PayloadBytes/2 {
+		t.Fatalf("repeat fetch cost %d, first cost %d; not differential", delta, first.PayloadBytes)
+	}
+}
+
+func TestPeerRefusesUntrustedPeer(t *testing.T) {
+	chainA := corpusChain(t, 600)
+	chainB := corpusChain(t, 700)
+	a, err := NewPeer(Config{Name: "a", Station: netsim.Desktop, Versions: chainA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPeer(Config{Name: "b", Station: netsim.PDA, Versions: chainB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b never trusted a: the PAD must fail the code-signing check.
+	if _, err := b.Fetch(a, "page-000"); err == nil {
+		t.Fatal("fetch from untrusted peer succeeded")
+	}
+}
+
+func TestThreePeerMesh(t *testing.T) {
+	// A small pervasive mesh: every peer trusts the others and can fetch
+	// from both, with per-relationship client roles.
+	chains := [][]*workload.Corpus{
+		corpusChain(t, 800), corpusChain(t, 810), corpusChain(t, 820),
+	}
+	stations := []netsim.Station{netsim.Desktop, netsim.Laptop, netsim.PDA}
+	peers := make([]*Peer, 3)
+	for i := range peers {
+		p, err := NewPeer(Config{
+			Name:            []string{"desk", "lap", "pda"}[i],
+			Station:         stations[i],
+			Versions:        chains[i],
+			SessionRequests: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	for i := range peers {
+		for j := range peers {
+			if i == j {
+				continue
+			}
+			if err := peers[i].Trust(peers[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range peers {
+		for j := range peers {
+			if i == j {
+				continue
+			}
+			got, err := peers[i].Fetch(peers[j], "page-000")
+			if err != nil {
+				t.Fatalf("%s <- %s: %v", peers[i].Name(), peers[j].Name(), err)
+			}
+			want := chains[j][1].Pages[0].Bytes()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s <- %s: content mismatch", peers[i].Name(), peers[j].Name())
+			}
+		}
+	}
+	// Six independent client relationships, each negotiated once.
+	for i := range peers {
+		for j := range peers {
+			if i == j {
+				continue
+			}
+			st, err := peers[i].Stats(peers[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Negotiations != 1 {
+				t.Errorf("%s->%s negotiations = %d", peers[i].Name(), peers[j].Name(), st.Negotiations)
+			}
+		}
+	}
+}

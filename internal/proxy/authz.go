@@ -1,0 +1,142 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fractal/internal/core"
+)
+
+// Authorizer decides whether a principal may use a PAD for an application,
+// realizing the access-control integration the paper lists as future work
+// (Section 6). The empty principal is an anonymous client.
+type Authorizer interface {
+	Allow(principal, appID string, pad core.PADMeta) bool
+}
+
+// AuthorizerFunc adapts a function to the Authorizer interface.
+type AuthorizerFunc func(principal, appID string, pad core.PADMeta) bool
+
+// Allow implements Authorizer.
+func (f AuthorizerFunc) Allow(principal, appID string, pad core.PADMeta) bool {
+	return f(principal, appID, pad)
+}
+
+// PolicyTable is a simple concrete Authorizer: per-principal protocol
+// allowlists with a default-allow fallback for unlisted principals. It is
+// safe for concurrent use.
+type PolicyTable struct {
+	mu    sync.RWMutex
+	rules map[string]map[string]bool // principal -> allowed protocol set
+}
+
+// NewPolicyTable returns an empty table (every principal allowed
+// everything until restricted).
+func NewPolicyTable() *PolicyTable {
+	return &PolicyTable{rules: map[string]map[string]bool{}}
+}
+
+// Restrict limits a principal to the listed protocol names.
+func (p *PolicyTable) Restrict(principal string, protocols ...string) error {
+	if principal == "" {
+		return fmt.Errorf("proxy: cannot restrict the anonymous principal")
+	}
+	set := map[string]bool{}
+	for _, proto := range protocols {
+		if proto == "" {
+			return fmt.Errorf("proxy: empty protocol in policy for %q", principal)
+		}
+		set[proto] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules[principal] = set
+	return nil
+}
+
+// Clear removes a principal's restrictions.
+func (p *PolicyTable) Clear(principal string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.rules, principal)
+}
+
+// Allow implements Authorizer.
+func (p *PolicyTable) Allow(principal, appID string, pad core.PADMeta) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	set, restricted := p.rules[principal]
+	if !restricted {
+		return true
+	}
+	return set[pad.Protocol]
+}
+
+// SetAuthorizer installs (or clears, with nil) the proxy's access-control
+// policy. Installing a policy invalidates nothing retroactively: callers
+// should install policy before serving, or push AppMeta again to flush the
+// adaptation cache.
+func (p *Proxy) SetAuthorizer(a Authorizer) {
+	p.authzMu.Lock()
+	defer p.authzMu.Unlock()
+	p.authz = a
+}
+
+// authorizer returns the current policy (nil = allow all).
+func (p *Proxy) authorizer() Authorizer {
+	p.authzMu.RLock()
+	defer p.authzMu.RUnlock()
+	return p.authz
+}
+
+// NegotiateFor is Negotiate with an authenticated principal: the
+// adaptation cache is partitioned per principal and the path search only
+// considers PADs the policy allows.
+func (p *Proxy) NegotiateFor(principal, appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
+	if err := env.Validate(); err != nil {
+		return nil, fmt.Errorf("proxy: client metadata: %w", err)
+	}
+	p.negotiations.Add(1)
+	key := core.CacheKey{AppID: appID, Principal: principal, Dev: env.Dev, Ntwk: env.Ntwk}
+	if pads, ok := p.cache.Get(key); ok {
+		p.cacheHits.Add(1)
+		return pads, nil
+	}
+	authz := p.authorizer()
+	var filter func(core.PADMeta) bool
+	if authz != nil {
+		filter = func(meta core.PADMeta) bool {
+			return authz.Allow(principal, appID, meta)
+		}
+	}
+	start := time.Now()
+	res, err := p.nm.negotiateFiltered(appID, env, sessionRequests, filter)
+	p.searchNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	pads := prepareForClient(res.PADs)
+	p.cache.Put(key, pads)
+	return pads, nil
+}
+
+// negotiateFiltered runs the path search with an optional authorization
+// filter.
+func (nm *NegotiationManager) negotiateFiltered(appID string, env core.Env, sessionRequests int, allow func(core.PADMeta) bool) (core.PathResult, error) {
+	nm.mu.RLock()
+	pat, ok := nm.pats[appID]
+	model := nm.model
+	nm.mu.RUnlock()
+	if !ok {
+		return core.PathResult{}, fmt.Errorf("proxy: no protocol adaptation topology for app %q", appID)
+	}
+	if sessionRequests > 0 {
+		model.SessionRequests = sessionRequests
+	}
+	res, err := core.FindPathFiltered(pat, model, env, allow)
+	if err != nil {
+		return core.PathResult{}, fmt.Errorf("proxy: app %s: %w", appID, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+// Package proxy implements Fractal's adaptation proxy (Section 3.2): a
+// negotiation manager that keeps one protocol adaptation tree per
+// application and runs the adaptation path search, and a distribution
+// manager that caches negotiation results, inserts digest/URL information,
+// hides tree links, and handles the network exchange with clients.
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fractal/internal/core"
+)
+
+// NegotiationManager maps client metadata to the PADs the client needs.
+type NegotiationManager struct {
+	mu    sync.RWMutex
+	pats  map[string]*core.PAT
+	model core.OverheadModel
+}
+
+// NewNegotiationManager builds a manager around an overhead model.
+func NewNegotiationManager(model core.OverheadModel) (*NegotiationManager, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	return &NegotiationManager{pats: map[string]*core.PAT{}, model: model}, nil
+}
+
+// PushAppMeta installs or replaces an application's protocol adaptation
+// topology, as the application server does "when the protocol adaptation
+// topology is first created or changed later".
+func (nm *NegotiationManager) PushAppMeta(app core.AppMeta) error {
+	pat, err := core.BuildPAT(app)
+	if err != nil {
+		return fmt.Errorf("proxy: rejecting AppMeta: %w", err)
+	}
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.pats[app.AppID] = pat
+	return nil
+}
+
+// Apps returns the application ids with installed topologies.
+func (nm *NegotiationManager) Apps() []string {
+	nm.mu.RLock()
+	defer nm.mu.RUnlock()
+	out := make([]string, 0, len(nm.pats))
+	for id := range nm.pats {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Negotiate runs the adaptation path search for one client environment.
+// sessionRequests amortizes the PAD download term; values < 1 are treated
+// as 1.
+func (nm *NegotiationManager) Negotiate(appID string, env core.Env, sessionRequests int) (core.PathResult, error) {
+	nm.mu.RLock()
+	pat, ok := nm.pats[appID]
+	model := nm.model
+	nm.mu.RUnlock()
+	if !ok {
+		return core.PathResult{}, fmt.Errorf("proxy: no protocol adaptation topology for app %q", appID)
+	}
+	if sessionRequests > 0 {
+		model.SessionRequests = sessionRequests
+	}
+	res, err := core.FindPath(pat, model, env)
+	if err != nil {
+		return core.PathResult{}, fmt.Errorf("proxy: app %s: %w", appID, err)
+	}
+	return res, nil
+}
+
+// Stats are the proxy's negotiation counters.
+type Stats struct {
+	Negotiations   int64
+	CacheHits      int64
+	TopologyPushes int64
+	// TotalSearchNanos accumulates time spent in cache-miss searches.
+	TotalSearchNanos int64
+}
+
+// Proxy couples the negotiation manager with the distribution manager's
+// adaptation cache and the INP server front end.
+type Proxy struct {
+	nm    *NegotiationManager
+	cache *core.AdaptationCache
+
+	authzMu sync.RWMutex
+	authz   Authorizer
+
+	negotiations   atomic.Int64
+	cacheHits      atomic.Int64
+	topologyPushes atomic.Int64
+	searchNanos    atomic.Int64
+}
+
+// New builds a proxy with the given overhead model and adaptation-cache
+// capacity.
+func New(model core.OverheadModel, cacheCapacity int) (*Proxy, error) {
+	nm, err := NewNegotiationManager(model)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := core.NewAdaptationCache(cacheCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	return &Proxy{nm: nm, cache: cache}, nil
+}
+
+// PushAppMeta installs a topology and invalidates cached negotiations for
+// that application.
+func (p *Proxy) PushAppMeta(app core.AppMeta) error {
+	if err := p.nm.PushAppMeta(app); err != nil {
+		return err
+	}
+	p.cache.Invalidate(app.AppID)
+	p.topologyPushes.Add(1)
+	return nil
+}
+
+// Negotiate is the full proxy-side negotiation for an anonymous client:
+// consult the adaptation cache, run the path search on a miss, then
+// prepare client-facing metadata (redacted links, URL filled). This is the
+// in-process entry point; ServeConn wraps it with the INP exchange.
+// Authenticated clients use NegotiateFor.
+func (p *Proxy) Negotiate(appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
+	return p.NegotiateFor("", appID, env, sessionRequests)
+}
+
+// prepareForClient is the distribution manager's post-processing: hide
+// parent/child links and ensure each PAD has a download URL.
+func prepareForClient(pads []core.PADMeta) []core.PADMeta {
+	out := make([]core.PADMeta, 0, len(pads))
+	for _, p := range pads {
+		q := p.Redacted()
+		if q.URL == "" {
+			q.URL = "/pads/" + q.ID
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Negotiations:     p.negotiations.Load(),
+		CacheHits:        p.cacheHits.Load(),
+		TopologyPushes:   p.topologyPushes.Load(),
+		TotalSearchNanos: p.searchNanos.Load(),
+	}
+}
+
+// CacheStats exposes the adaptation cache counters.
+func (p *Proxy) CacheStats() core.CacheStats { return p.cache.Stats() }

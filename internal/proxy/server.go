@@ -1,0 +1,168 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"fractal/internal/core"
+	"fractal/internal/inp"
+)
+
+// Server is the proxy's INP front end: goroutine-per-connection with a
+// bounded concurrency semaphore, running the Figure 4 negotiation exchange
+// (INIT_REQ -> INIT_REP + CLI_META_REQ -> CLI_META_REP -> PAD_META_REP)
+// on each connection.
+type Server struct {
+	proxy *Proxy
+	sem   chan struct{}
+	logf  func(format string, args ...interface{})
+	// idle bounds how long a session may sit between messages; zero
+	// means no limit.
+	idle   time.Duration
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// SetIdleTimeout bounds the gap between messages on each session; it must
+// be called before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idle = d }
+
+// armDeadline applies the idle timeout to a connection if configured.
+func (s *Server) armDeadline(conn net.Conn) {
+	if s.idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+	}
+}
+
+// NewServer wraps a proxy. maxConcurrent bounds simultaneously served
+// negotiations; logf defaults to log.Printf.
+func NewServer(p *Proxy, maxConcurrent int, logf func(string, ...interface{})) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("proxy: server needs a proxy")
+	}
+	if maxConcurrent < 1 {
+		return nil, fmt.Errorf("proxy: server concurrency must be >= 1, got %d", maxConcurrent)
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{proxy: p, sem: make(chan struct{}, maxConcurrent), logf: logf}, nil
+}
+
+// Serve accepts connections from l until Close. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("proxy: server already closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("proxy: accept: %w", err)
+		}
+		s.sem <- struct{}{}
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				<-s.sem
+				s.wg.Done()
+			}()
+			defer conn.Close()
+			if err := s.ServeConn(conn); err != nil {
+				s.logf("proxy: session from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// ServeConn runs one session over an established connection: either a
+// client negotiation (INIT_REQ) or an application server's topology push
+// (APP_META_PUSH).
+func (s *Server) ServeConn(rw net.Conn) error {
+	c := inp.NewConn(rw)
+
+	s.armDeadline(rw)
+	h, raw, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("reading first message: %w", err)
+	}
+	switch h.Type {
+	case inp.MsgAppMetaPush:
+		var push inp.AppMetaPush
+		if err := inp.DecodeBody(raw, &push); err != nil {
+			return err
+		}
+		if err := s.proxy.PushAppMeta(push.App); err != nil {
+			_ = c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: false, Reason: err.Error()})
+			return err
+		}
+		return c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: true})
+	case inp.MsgInitReq:
+		// negotiation continues below
+	default:
+		_ = c.SendError(fmt.Sprintf("unexpected %v to open a session", h.Type))
+		return fmt.Errorf("unexpected opening message %v", h.Type)
+	}
+
+	var initReq inp.InitReq
+	if err := inp.DecodeBody(raw, &initReq); err != nil {
+		return fmt.Errorf("reading INIT_REQ: %w", err)
+	}
+	if initReq.AppID == "" {
+		_ = c.SendError("INIT_REQ missing application id")
+		return errors.New("INIT_REQ missing application id")
+	}
+	if err := c.Send(inp.MsgInitRep, inp.InitRep{OK: true}); err != nil {
+		return fmt.Errorf("sending INIT_REP: %w", err)
+	}
+	// Empty templates for the client to fill by probing its system.
+	if err := c.Send(inp.MsgCliMetaReq, inp.CliMetaReq{}); err != nil {
+		return fmt.Errorf("sending CLI_META_REQ: %w", err)
+	}
+
+	s.armDeadline(rw)
+	var meta inp.CliMetaRep
+	if err := c.RecvInto(inp.MsgCliMetaRep, &meta); err != nil {
+		return fmt.Errorf("reading CLI_META_REP: %w", err)
+	}
+
+	env := core.Env{Dev: meta.Dev, Ntwk: meta.Ntwk}
+	pads, err := s.proxy.NegotiateFor(initReq.ClientID, initReq.AppID, env, meta.SessionRequests)
+	if err != nil {
+		_ = c.SendError(err.Error())
+		return err
+	}
+	if err := c.Send(inp.MsgPADMetaRep, inp.PADMetaRep{PADs: pads}); err != nil {
+		return fmt.Errorf("sending PAD_META_REP: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package rabin
+
+import (
+	"fmt"
+	"io"
+)
+
+// Chunk is one content-defined region of an input buffer.
+type Chunk struct {
+	Offset int
+	Length int
+	Cut    uint64 // fingerprint value at the breakpoint (0 for forced cuts)
+}
+
+// ChunkerConfig controls content-defined splitting. Breakpoints are
+// declared after at least MinSize bytes wherever the rolling fingerprint of
+// the previous Window bytes satisfies fp & Mask == Magic; a chunk is force-
+// cut at MaxSize. The paper follows LBFS with a 48-byte window.
+type ChunkerConfig struct {
+	Pol     Pol
+	Window  int
+	MinSize int
+	MaxSize int
+	Mask    uint64
+	Magic   uint64
+}
+
+// DefaultChunkerConfig mirrors LBFS at a reduced average chunk size suited
+// to ~32 KB images: 48-byte window, ~768 B expected chunks (9-bit mask on
+// top of a 256 B minimum), 4 KB maximum.
+func DefaultChunkerConfig() ChunkerConfig {
+	return ChunkerConfig{
+		Pol:     DefaultPol,
+		Window:  48,
+		MinSize: 256,
+		MaxSize: 4 * 1024,
+		Mask:    (1 << 9) - 1,
+		Magic:   0x78,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChunkerConfig) Validate() error {
+	if c.Window < 2 || c.Window > 256 {
+		return fmt.Errorf("rabin: window %d out of range [2,256]", c.Window)
+	}
+	if c.MinSize < c.Window {
+		return fmt.Errorf("rabin: MinSize %d smaller than window %d", c.MinSize, c.Window)
+	}
+	if c.MaxSize < c.MinSize {
+		return fmt.Errorf("rabin: MaxSize %d smaller than MinSize %d", c.MaxSize, c.MinSize)
+	}
+	if c.Mask == 0 {
+		return fmt.Errorf("rabin: zero mask would cut at every byte")
+	}
+	if c.Magic&^c.Mask != 0 {
+		return fmt.Errorf("rabin: magic %#x has bits outside mask %#x", c.Magic, c.Mask)
+	}
+	return nil
+}
+
+// Chunker splits byte buffers into content-defined chunks. It is immutable
+// after construction and safe for concurrent use; each Split call uses its
+// own rolling digest.
+type Chunker struct {
+	cfg ChunkerConfig
+	tab *Table
+}
+
+// NewChunker builds a chunker for the configuration.
+func NewChunker(cfg ChunkerConfig) (*Chunker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tab, err := NewTable(cfg.Pol, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	return &Chunker{cfg: cfg, tab: tab}, nil
+}
+
+// Config returns the chunker's configuration.
+func (c *Chunker) Config() ChunkerConfig { return c.cfg }
+
+// Split divides data into chunks. The concatenation of all chunks exactly
+// reconstructs data; an empty input yields no chunks. Boundaries are a
+// function of local content only (plus the min/max constraints), which is
+// the property that lets insertions shift data without invalidating all
+// following chunks.
+func (c *Chunker) Split(data []byte) []Chunk {
+	var chunks []Chunk
+	d := c.tab.NewDigest()
+	start := 0
+	for start < len(data) {
+		limit := start + c.cfg.MaxSize
+		if limit > len(data) {
+			limit = len(data)
+		}
+		n, cut := c.findCut(d, data[start:limit])
+		chunks = append(chunks, Chunk{Offset: start, Length: n, Cut: cut})
+		start += n
+	}
+	return chunks
+}
+
+// findCut locates the first content-defined boundary in window (which is
+// already bounded by MaxSize), returning the chunk length and the
+// fingerprint at the cut (0 for forced cuts). The digest is reset first.
+func (c *Chunker) findCut(d *Digest, window []byte) (int, uint64) {
+	d.Reset()
+	for i := range window {
+		fp := d.Roll(window[i])
+		if i+1 < c.cfg.MinSize {
+			continue
+		}
+		if fp&c.cfg.Mask == c.cfg.Magic {
+			return i + 1, fp
+		}
+	}
+	return len(window), 0
+}
+
+// SplitReader chunks a stream incrementally in O(MaxSize) memory, calling
+// emit for each chunk with its data. The chunk sequence is identical to
+// Split over the whole stream. Emit errors abort and are returned.
+func (c *Chunker) SplitReader(r io.Reader, emit func(Chunk, []byte) error) error {
+	if emit == nil {
+		return fmt.Errorf("rabin: SplitReader needs an emit callback")
+	}
+	d := c.tab.NewDigest()
+	buf := make([]byte, 0, 2*c.cfg.MaxSize)
+	offset := 0
+	eof := false
+	for {
+		for len(buf) < c.cfg.MaxSize && !eof {
+			free := buf[len(buf):cap(buf)]
+			n, err := r.Read(free)
+			buf = buf[:len(buf)+n]
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("rabin: reading stream at offset %d: %w", offset+len(buf), err)
+			}
+		}
+		if len(buf) == 0 {
+			return nil
+		}
+		window := buf
+		if len(window) > c.cfg.MaxSize {
+			window = window[:c.cfg.MaxSize]
+		}
+		// A forced cut before MaxSize is only valid at true end of input.
+		if !eof && len(window) < c.cfg.MaxSize {
+			continue
+		}
+		n, cut := c.findCut(d, window)
+		if err := emit(Chunk{Offset: offset, Length: n, Cut: cut}, buf[:n]); err != nil {
+			return err
+		}
+		offset += n
+		buf = append(buf[:0], buf[n:]...)
+	}
+}

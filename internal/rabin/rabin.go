@@ -1,0 +1,132 @@
+// Package rabin implements Rabin fingerprinting by random polynomials
+// (Rabin, 1981) with a rolling window, and content-defined chunking in the
+// style of LBFS: chunk boundaries are declared where the fingerprint of the
+// previous window bytes matches a specific value under a bit mask, so that
+// boundaries depend on content, not position. This is the mechanism behind
+// the paper's Vary-sized blocking protocol (Section 4.1).
+package rabin
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pol is a polynomial over GF(2), represented by its coefficient bits. The
+// polynomial must be irreducible for good fingerprint behaviour.
+type Pol uint64
+
+// DefaultPol is a degree-53 irreducible polynomial widely used for
+// content-defined chunking. Degree 53 keeps a byte-shifted fingerprint
+// within 64 bits.
+const DefaultPol Pol = 0x3DA3358B4DC173
+
+// Deg returns the degree of the polynomial, or -1 for the zero polynomial.
+func (p Pol) Deg() int { return bits.Len64(uint64(p)) - 1 }
+
+// polyMod returns a mod p over GF(2).
+func polyMod(a uint64, p Pol) uint64 {
+	dp := p.Deg()
+	for da := bits.Len64(a) - 1; da >= dp; da = bits.Len64(a) - 1 {
+		a ^= uint64(p) << (da - dp)
+	}
+	return a
+}
+
+// Table holds the precomputed byte-append and byte-expire tables for one
+// (polynomial, window size) pair. Tables are immutable after construction
+// and safe for concurrent use.
+type Table struct {
+	pol    Pol
+	window int
+	deg    int
+	mod    [256]uint64 // reduction of the 8 bits shifted past the degree
+	out    [256]uint64 // contribution of a byte leaving the window
+}
+
+// NewTable precomputes tables for the polynomial and window size.
+func NewTable(pol Pol, window int) (*Table, error) {
+	if pol.Deg() < 16 || pol.Deg() > 56 {
+		return nil, fmt.Errorf("rabin: polynomial degree %d out of supported range [16,56]", pol.Deg())
+	}
+	if window < 2 || window > 256 {
+		return nil, fmt.Errorf("rabin: window size %d out of range [2,256]", window)
+	}
+	t := &Table{pol: pol, window: window, deg: pol.Deg()}
+	for b := 0; b < 256; b++ {
+		// mod[b]: for a value v with top byte b above the degree,
+		// v mod p == v ^ mod[b] with the top bits cleared.
+		top := uint64(b) << t.deg
+		t.mod[b] = polyMod(top, pol) | top
+		// out[b]: fingerprint contribution of the oldest in-window byte,
+		// i.e. b * x^(8*(window-1)) mod p, so it can be expired by XOR
+		// just before the window shifts.
+		fp := t.appendByteSlow(0, byte(b))
+		for i := 0; i < window-1; i++ {
+			fp = t.appendByteSlow(fp, 0)
+		}
+		t.out[b] = fp
+	}
+	return t, nil
+}
+
+// appendByteSlow is the reference (non-table) append used while building
+// the tables themselves.
+func (t *Table) appendByteSlow(fp uint64, b byte) uint64 {
+	return polyMod(fp<<8|uint64(b), t.pol)
+}
+
+// Window returns the window size the table was built for.
+func (t *Table) Window() int { return t.window }
+
+// Digest is a rolling fingerprint over the last Window() bytes written.
+// The zero Digest is not usable; obtain one from Table.NewDigest.
+type Digest struct {
+	t    *Table
+	fp   uint64
+	win  []byte
+	wpos int
+}
+
+// NewDigest returns a rolling digest over an initially all-zero window.
+func (t *Table) NewDigest() *Digest {
+	return &Digest{t: t, win: make([]byte, t.window)}
+}
+
+// Reset returns the digest to its initial all-zero-window state.
+func (d *Digest) Reset() {
+	d.fp = 0
+	d.wpos = 0
+	for i := range d.win {
+		d.win[i] = 0
+	}
+}
+
+// Roll shifts b into the window, expiring the oldest byte, and returns the
+// updated fingerprint.
+func (d *Digest) Roll(b byte) uint64 {
+	out := d.win[d.wpos]
+	d.win[d.wpos] = b
+	d.wpos++
+	if d.wpos == len(d.win) {
+		d.wpos = 0
+	}
+	d.fp ^= d.t.out[out]
+	d.fp = d.fp<<8 | uint64(b)
+	d.fp ^= d.t.mod[d.fp>>d.t.deg]
+	return d.fp
+}
+
+// Sum64 returns the current fingerprint.
+func (d *Digest) Sum64() uint64 { return d.fp }
+
+// Fingerprint computes the fingerprint of data directly (non-rolling),
+// equivalent to rolling data through a fresh digest when len(data) >= the
+// window size.
+func (t *Table) Fingerprint(data []byte) uint64 {
+	fp := uint64(0)
+	for _, b := range data {
+		fp = fp<<8 | uint64(b)
+		fp ^= t.mod[fp>>t.deg]
+	}
+	return fp
+}

@@ -1,0 +1,22 @@
+package workload
+
+import "testing"
+
+// FuzzParse hardens page parsing against corrupt serialized streams.
+func FuzzParse(f *testing.F) {
+	c, err := Generate(Config{Pages: 1, TextBytes: 64, Images: 1, ImageBytes: 64, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c.Pages[0].Bytes())
+	f.Add([]byte("PAGE p v000001\nTEXT\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if p.ID == "" {
+			t.Fatal("parsed page without id")
+		}
+	})
+}

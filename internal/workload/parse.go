@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse is the inverse of Page.Bytes: it reconstructs the structured page
+// from its serialized stream. Content-adaptation PADs use it to transform
+// individual parts (e.g. downscale images) while preserving the layout.
+func Parse(data []byte) (*Page, error) {
+	rest := data
+	line, rest, err := cutLine(rest)
+	if err != nil {
+		return nil, fmt.Errorf("workload: parse: missing page header")
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) != 3 || fields[0] != "PAGE" || !strings.HasPrefix(fields[2], "v") {
+		return nil, fmt.Errorf("workload: parse: bad page header %q", line)
+	}
+	version, err := strconv.Atoi(strings.TrimPrefix(fields[2], "v"))
+	if err != nil {
+		return nil, fmt.Errorf("workload: parse: bad version in header %q: %w", line, err)
+	}
+	p := &Page{ID: fields[1], Version: version}
+	for {
+		if bytes.HasPrefix(rest, []byte("TEXT\n")) {
+			p.Text = append([]byte(nil), rest[len("TEXT\n"):]...)
+			return p, nil
+		}
+		line, next, err := cutLine(rest)
+		if err != nil {
+			return nil, fmt.Errorf("workload: parse: truncated before TEXT section")
+		}
+		mf := strings.Fields(string(line))
+		if len(mf) != 3 || mf[0] != "IMG" {
+			return nil, fmt.Errorf("workload: parse: bad image marker %q", line)
+		}
+		idx, err1 := strconv.Atoi(mf[1])
+		size, err2 := strconv.Atoi(mf[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("workload: parse: bad image marker %q", line)
+		}
+		if idx != len(p.Images) {
+			return nil, fmt.Errorf("workload: parse: image %d out of order (have %d)", idx, len(p.Images))
+		}
+		if size < 0 || size > len(next) {
+			return nil, fmt.Errorf("workload: parse: image %d of %d bytes exceeds remaining %d", idx, size, len(next))
+		}
+		p.Images = append(p.Images, append([]byte(nil), next[:size]...))
+		rest = next[size:]
+	}
+}
+
+// cutLine splits data at the first newline.
+func cutLine(data []byte) (line, rest []byte, err error) {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return nil, nil, fmt.Errorf("workload: no newline")
+	}
+	return data[:i], data[i+1:], nil
+}

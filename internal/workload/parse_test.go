@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	c, err := Generate(Config{Pages: 2, TextBytes: 777, Images: 3, ImageBytes: 1000, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Pages {
+		got, err := Parse(p.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != p.ID || got.Version != p.Version {
+			t.Fatalf("identity = %s v%d, want %s v%d", got.ID, got.Version, p.ID, p.Version)
+		}
+		if !bytes.Equal(got.Text, p.Text) {
+			t.Fatal("text mismatch")
+		}
+		if len(got.Images) != len(p.Images) {
+			t.Fatalf("images = %d, want %d", len(got.Images), len(p.Images))
+		}
+		for i := range p.Images {
+			if !bytes.Equal(got.Images[i], p.Images[i]) {
+				t.Fatalf("image %d mismatch", i)
+			}
+		}
+		if !bytes.Equal(got.Bytes(), p.Bytes()) {
+			t.Fatal("re-serialization mismatch")
+		}
+	}
+}
+
+func TestParseNoImages(t *testing.T) {
+	c, err := Generate(Config{Pages: 1, TextBytes: 64, Images: 0, ImageBytes: 0, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(c.Pages[0].Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Images) != 0 {
+		t.Fatalf("images = %d", len(got.Images))
+	}
+}
+
+func TestParseRejectsCorrupt(t *testing.T) {
+	c, err := Generate(Config{Pages: 1, TextBytes: 64, Images: 1, ImageBytes: 64, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := c.Pages[0].Bytes()
+	cases := [][]byte{
+		nil,
+		[]byte("no newline at all"),
+		[]byte("WRONG header\nTEXT\nx"),
+		[]byte("PAGE p v000001\nIMG 1 00000010\n0123456789TEXT\n"), // out of order
+		[]byte("PAGE p v000001\nIMG 0 99999999\nshort"),            // oversized image
+		good[:len(good)/4],                                  // truncated
+		[]byte("PAGE p vNaN\nTEXT\n"),                       // bad version
+		[]byte("PAGE p v000001\nIMG zero 00000010\nTEXT\n"), // bad index
+	}
+	for i, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("case %d: corrupt page parsed", i)
+		}
+	}
+}
+
+// Property: Parse(Bytes()) is the identity on generated pages of arbitrary
+// shape.
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64, textLen uint16, imgs uint8, imgLen uint16) bool {
+		cfg := Config{
+			Pages:      1,
+			TextBytes:  int(textLen % 2048),
+			Images:     int(imgs % 5),
+			ImageBytes: int(imgLen%4096) + 1,
+			Seed:       seed,
+		}
+		c, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		p := c.Pages[0]
+		got, err := Parse(p.Bytes())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Bytes(), p.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

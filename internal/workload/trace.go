@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Request is one entry of an application request trace.
+type Request struct {
+	Client   int    // which client issues the request
+	Resource string // page id
+}
+
+// TraceConfig parameterizes request-trace generation.
+type TraceConfig struct {
+	Clients  int
+	Requests int // total requests across all clients
+	// ZipfS is the skew parameter (> 1); web page popularity is
+	// classically Zipf-like. 1.2 is a mild, realistic skew.
+	ZipfS float64
+	Seed  int64
+}
+
+// DefaultTraceConfig returns a mild-skew trace over the corpus.
+func DefaultTraceConfig(seed int64) TraceConfig {
+	return TraceConfig{Clients: 10, Requests: 500, ZipfS: 1.2, Seed: seed}
+}
+
+// Validate reports whether the configuration is usable.
+func (c TraceConfig) Validate() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("workload: trace needs >= 1 client, got %d", c.Clients)
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("workload: trace needs >= 1 request, got %d", c.Requests)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("workload: zipf skew must be > 1, got %v", c.ZipfS)
+	}
+	return nil
+}
+
+// GenerateTrace builds a deterministic request trace against a corpus:
+// page popularity follows a Zipf distribution and requests round-robin
+// across clients.
+func GenerateTrace(c *Corpus, cfg TraceConfig) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c.Pages) == 0 {
+		return nil, fmt.Errorf("workload: trace over empty corpus")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(c.Pages)-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("workload: bad zipf parameters (s=%v, n=%d)", cfg.ZipfS, len(c.Pages))
+	}
+	out := make([]Request, cfg.Requests)
+	for i := range out {
+		out[i] = Request{
+			Client:   i % cfg.Clients,
+			Resource: c.Pages[int(zipf.Uint64())].ID,
+		}
+	}
+	return out, nil
+}

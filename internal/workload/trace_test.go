@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+)
+
+func traceCorpus(t testing.TB) *Corpus {
+	t.Helper()
+	c, err := Generate(Config{Pages: 20, TextBytes: 16, Images: 0, ImageBytes: 0, Seed: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	c := traceCorpus(t)
+	cfg := DefaultTraceConfig(1)
+	trace, err := GenerateTrace(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != cfg.Requests {
+		t.Fatalf("trace length = %d, want %d", len(trace), cfg.Requests)
+	}
+	valid := map[string]bool{}
+	for _, p := range c.Pages {
+		valid[p.ID] = true
+	}
+	counts := map[string]int{}
+	clients := map[int]bool{}
+	for _, r := range trace {
+		if !valid[r.Resource] {
+			t.Fatalf("trace references unknown resource %q", r.Resource)
+		}
+		if r.Client < 0 || r.Client >= cfg.Clients {
+			t.Fatalf("trace client %d out of range", r.Client)
+		}
+		counts[r.Resource]++
+		clients[r.Client] = true
+	}
+	if len(clients) != cfg.Clients {
+		t.Fatalf("trace used %d clients, want %d", len(clients), cfg.Clients)
+	}
+	// Zipf skew: the most popular page must dominate the median page.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < cfg.Requests/4 {
+		t.Fatalf("head page got %d of %d requests; no Zipf skew", max, cfg.Requests)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	c := traceCorpus(t)
+	a, err := GenerateTrace(c, DefaultTraceConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(c, DefaultTraceConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace entry %d nondeterministic", i)
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	c := traceCorpus(t)
+	bad := []TraceConfig{
+		{Clients: 0, Requests: 1, ZipfS: 1.2},
+		{Clients: 1, Requests: 0, ZipfS: 1.2},
+		{Clients: 1, Requests: 1, ZipfS: 1.0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateTrace(c, cfg); err == nil {
+			t.Errorf("case %d: invalid trace config accepted", i)
+		}
+	}
+	if _, err := GenerateTrace(&Corpus{}, DefaultTraceConfig(1)); err == nil {
+		t.Error("trace over empty corpus accepted")
+	}
+}
