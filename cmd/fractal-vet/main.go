@@ -1,0 +1,124 @@
+// Command fractal-vet runs the repo-specific static-analysis suite over
+// the module: determinism (simtime, rawrand), error-handling (errdiscard),
+// VM instruction-set completeness (opcomplete), and digest-comparison
+// hygiene (digestsafe). See internal/analysis for the invariants and the
+// //fractal:allow annotation syntax.
+//
+// Usage:
+//
+//	fractal-vet [-json] [-enable a,b] [-disable c] [packages]
+//
+// With no arguments (or "./...") every package of the enclosing module is
+// analyzed. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fractal/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("fractal-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.Select(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loadTargets(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadTargets resolves the package arguments: none or "./..." means the
+// whole module; otherwise each argument is a directory (absolute or
+// relative) holding one package.
+func loadTargets(loader *analysis.Loader, args []string) ([]*analysis.Package, error) {
+	wholeModule := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			wholeModule = true
+		}
+	}
+	if wholeModule {
+		return loader.LoadAll()
+	}
+	var pkgs []*analysis.Package
+	for _, a := range args {
+		dir, err := filepath.Abs(a)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.ModuleDir, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("fractal-vet: %s is outside module %s", a, loader.ModuleDir)
+		}
+		path := loader.ModulePath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

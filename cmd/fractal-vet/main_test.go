@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"fractal/internal/analysis"
+)
+
+// capture runs f with a temp file substituted for an output stream and
+// returns what was written to it.
+func capture(t *testing.T, f func(out *os.File)) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	f(tmp)
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunList(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-list"}, f, f)
+	})
+	if code != 0 {
+		t.Fatalf("run -list = %d, want 0", code)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestRunJSONCleanPackage(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-json", "../../internal/netsim"}, f, f)
+	})
+	if code != 0 {
+		t.Fatalf("run -json internal/netsim = %d, want 0 (output: %s)", code, out)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/netsim should be vet-clean, got %v", diags)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	code := capture2(t, []string{"-enable", "nope"})
+	if code != 2 {
+		t.Fatalf("run -enable nope = %d, want 2", code)
+	}
+	if code := capture2(t, []string{"../../../outside"}); code != 2 {
+		t.Fatalf("run with out-of-module target = %d, want 2", code)
+	}
+}
+
+func capture2(t *testing.T, args []string) int {
+	t.Helper()
+	var code int
+	capture(t, func(f *os.File) {
+		code = run(args, f, f)
+	})
+	return code
+}

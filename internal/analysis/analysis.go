@@ -1,0 +1,242 @@
+// Package analysis is fractal-vet: a repo-specific static-analysis suite
+// built entirely on the stdlib go/ast + go/parser + go/types stack (the
+// module is dependency-free and must stay that way).
+//
+// The repo's core correctness properties — "simulation results are
+// repeatable" and "PADs are verified before deployment" — are invariants
+// about how code is written, not just runtime behaviour. Each analyzer
+// machine-checks one of them:
+//
+//   - simtime:    wall-clock time sources are forbidden in
+//     simulation-deterministic packages; virtual time flows
+//     through netsim.Clock.
+//   - rawrand:    the global math/rand source is forbidden; randomness
+//     comes from injected, seeded *rand.Rand values.
+//   - errdiscard: io.Reader/io.Writer and codec encode/decode errors (and
+//     Read byte counts — the short-read bug class) must not be
+//     discarded.
+//   - opcomplete: every VM opcode has an assembler mnemonic and a
+//     dispatch-switch handler.
+//   - digestsafe: digest equality goes through the designated constant-time
+//     helper, never ad-hoc ==/bytes.Equal.
+//
+// A finding can be suppressed at a genuine exception site (for example a
+// real-I/O read deadline) with a checked annotation comment on the same or
+// the preceding line:
+//
+//	//fractal:allow simtime — real socket deadline, not simulated time
+//
+// Annotations are "checked" in that an allow comment which suppresses
+// nothing is itself reported, so stale allowlists cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowPrefix introduces a suppression annotation comment.
+const AllowPrefix = "fractal:allow"
+
+// allowAnnotation is one parsed //fractal:allow comment.
+type allowAnnotation struct {
+	analyzer string
+	file     string
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+// collectAllows parses every fractal:allow annotation in the package.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowAnnotation {
+	var out []*allowAnnotation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, &allowAnnotation{
+					analyzer: fields[0],
+					file:     p.Filename,
+					line:     p.Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies allow annotations,
+// reports unused annotations, and returns the surviving diagnostics sorted
+// by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if suppressed(d, allows) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		// An allow annotation naming an enabled analyzer that suppressed
+		// nothing is stale; report it so allowlists stay honest.
+		enabled := map[string]bool{}
+		for _, a := range analyzers {
+			enabled[a.Name] = true
+		}
+		for _, al := range allows {
+			if al.used || !enabled[al.analyzer] {
+				continue
+			}
+			p := pkg.Fset.Position(al.pos)
+			out = append(out, Diagnostic{
+				Analyzer: "allowcheck",
+				Pos:      p,
+				File:     p.Filename,
+				Line:     p.Line,
+				Col:      p.Column,
+				Message:  fmt.Sprintf("unused //%s %s annotation (nothing to suppress here; remove it)", AllowPrefix, al.analyzer),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// suppressed reports whether an annotation on the diagnostic's line or the
+// line above covers it, marking the annotation used.
+func suppressed(d Diagnostic, allows []*allowAnnotation) bool {
+	hit := false
+	for _, al := range allows {
+		if al.analyzer != d.Analyzer || al.file != d.File {
+			continue
+		}
+		if al.line == d.Line || al.line == d.Line-1 {
+			al.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Analyzers returns the full fractal-vet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimtimeAnalyzer,
+		RawrandAnalyzer,
+		ErrdiscardAnalyzer,
+		OpcompleteAnalyzer,
+		DigestsafeAnalyzer,
+	}
+}
+
+// Select filters the suite by enable/disable comma lists ("" means all).
+func Select(enable, disable string) ([]*Analyzer, error) {
+	all := Analyzers()
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	picked := all
+	if enable != "" {
+		picked = nil
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable != "" {
+		drop := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		var kept []*Analyzer
+		for _, a := range picked {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	return picked, nil
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OpcompleteAnalyzer checks the VM instruction set for completeness: every
+// exported opcode constant of the defined type Op must have an assembler
+// mnemonic registered in the opNames table and a handler case in the VM's
+// dispatch switch. An opcode that can be encoded but not executed (or
+// executed but not assembled) is exactly the drift this guards against as
+// the instruction set grows.
+var OpcompleteAnalyzer = &Analyzer{
+	Name: "opcomplete",
+	Doc:  "every VM opcode needs an assembler mnemonic and a dispatch-switch handler",
+	Run:  runOpcomplete,
+}
+
+func runOpcomplete(pass *Pass) {
+	opType := lookupOpType(pass.Pkg)
+	if opType == nil {
+		return // not a VM package
+	}
+	type opConst struct {
+		name string
+		pos  token.Pos
+	}
+	var ops []opConst
+	for id, obj := range pass.Pkg.Info.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || !id.IsExported() || !types.Identical(c.Type(), opType) {
+			continue
+		}
+		ops = append(ops, opConst{name: id.Name, pos: id.Pos()})
+	}
+	if len(ops) == 0 {
+		return
+	}
+
+	mnemonics, namesPos := opNameKeys(pass)
+	handled := dispatchCases(pass, opType)
+
+	if mnemonics == nil {
+		pass.Reportf(namesPos, "package defines %d Op constants but no opNames mnemonic table", len(ops))
+		return
+	}
+	for _, op := range ops {
+		if !mnemonics[op.name] {
+			pass.Reportf(op.pos, "opcode %s has no assembler mnemonic in opNames", op.name)
+		}
+		if !handled[op.name] {
+			pass.Reportf(op.pos, "opcode %s has no handler case in the VM dispatch switch", op.name)
+		}
+	}
+}
+
+// lookupOpType finds the defined integer type named Op in package scope.
+func lookupOpType(pkg *Package) types.Type {
+	if pkg.Types == nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup("Op")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	b, ok := tn.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return tn.Type()
+}
+
+// opNameKeys collects the identifier keys of the opNames composite
+// literal. The returned position anchors a missing-table diagnostic at the
+// Op type declaration when the table is absent.
+func opNameKeys(pass *Pass) (map[string]bool, token.Pos) {
+	var keys map[string]bool
+	anchor := token.NoPos
+	for _, f := range pass.Pkg.Files {
+		if anchor == token.NoPos {
+			anchor = f.Pos()
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "opNames" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys = map[string]bool{}
+					for _, el := range lit.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							keys[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys, anchor
+}
+
+// dispatchCases returns the opcode constants handled by the largest switch
+// over an Op-typed tag — the VM dispatch loop. Smaller Op switches (for
+// example operand validation in Validate) do not count as handlers.
+func dispatchCases(pass *Pass, opType types.Type) map[string]bool {
+	best := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok || !types.Identical(tv.Type, opType) {
+				return true
+			}
+			cases := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok {
+						cases[id.Name] = true
+					}
+				}
+			}
+			if len(cases) > len(best) {
+				best = cases
+			}
+			return true
+		})
+	}
+	return best
+}

@@ -1,0 +1,14 @@
+// Package mobilecode is the digestsafe bad fixture: ad-hoc comparisons of
+// raw SHA-1 digests inside the verification pipeline.
+package mobilecode
+
+import (
+	"bytes"
+	"crypto/sha1"
+)
+
+func bad(a, b [sha1.Size]byte) (bool, bool) {
+	eq := a == b                  //want digestsafe:10
+	be := bytes.Equal(a[:], b[:]) //want digestsafe:8
+	return eq, be
+}

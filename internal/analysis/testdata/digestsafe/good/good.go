@@ -1,0 +1,16 @@
+// Package mobilecode is the digestsafe good fixture: all digest equality
+// flows through the designated helper, whose body is exempt.
+package mobilecode
+
+import (
+	"crypto/sha1"
+	"crypto/subtle"
+)
+
+func digestEqual(a, b [sha1.Size]byte) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+func good(a, b [sha1.Size]byte) bool {
+	return digestEqual(a, b)
+}

@@ -1,0 +1,16 @@
+// Package codec is the errdiscard bad fixture: discarded Read counts and
+// discarded errors on I/O and codec paths.
+package codec
+
+import "io"
+
+type enc struct{}
+
+func (enc) Encode(v int) error { return nil }
+
+func bad(r io.Reader, w io.Writer, e enc, buf []byte) error {
+	_, err := r.Read(buf) //want errdiscard:2
+	_, _ = w.Write(buf)   //want errdiscard:5
+	e.Encode(1)           //want errdiscard:2
+	return err
+}

@@ -1,0 +1,19 @@
+// Package codec is the errdiscard good fixture: counts and errors are
+// consumed, io.ReadFull replaces bare short-read-prone Reads, and
+// bytes.Buffer writes (which cannot fail) are exempt.
+package codec
+
+import (
+	"bytes"
+	"io"
+)
+
+func good(r io.Reader, buf *bytes.Buffer, b []byte) (int, error) {
+	buf.Write(b)
+	n, err := io.ReadFull(r, b)
+	if err != nil {
+		return n, err
+	}
+	m, err := r.Read(b)
+	return m, err
+}

@@ -1,0 +1,29 @@
+// Package mobilecode is the opcomplete bad fixture: OpOrphan can be
+// encoded but has neither an assembler mnemonic nor a dispatch handler.
+package mobilecode
+
+// Op is the fixture VM opcode type.
+type Op uint8
+
+// The fixture instruction set.
+const (
+	OpNop Op = iota
+	OpHalt
+	OpOrphan //want opcomplete:2 opcomplete:2
+	opMax
+)
+
+var opNames = map[Op]string{OpNop: "NOP", OpHalt: "HALT"}
+
+func dispatch(o Op) string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	}
+	if o >= opMax {
+		return ""
+	}
+	return opNames[o]
+}

@@ -1,0 +1,37 @@
+// Package mobilecode is the opcomplete good fixture: every exported
+// opcode has a mnemonic and a dispatch case; validation switches smaller
+// than the dispatch switch do not confuse the analyzer.
+package mobilecode
+
+// Op is the fixture VM opcode type.
+type Op uint8
+
+// The fixture instruction set.
+const (
+	OpNop Op = iota
+	OpHalt
+	OpJmp
+	opMax
+)
+
+var opNames = map[Op]string{OpNop: "NOP", OpHalt: "HALT", OpJmp: "JMP"}
+
+func validate(o Op) bool {
+	switch o {
+	case OpJmp:
+		return true
+	}
+	return o < opMax
+}
+
+func dispatch(o Op) string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpJmp:
+		return "jmp"
+	}
+	return opNames[o]
+}

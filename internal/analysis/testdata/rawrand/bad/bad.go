@@ -1,0 +1,12 @@
+// Package workload is the rawrand bad fixture: draws from the global
+// math/rand source are not reproducible.
+package workload
+
+import "math/rand"
+
+func bad(xs []int) (int, float64) {
+	n := rand.Intn(10)                                                    //want rawrand:7
+	f := rand.Float64()                                                   //want rawrand:7
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //want rawrand:2
+	return n, f
+}

@@ -1,0 +1,13 @@
+// Package workload is the rawrand good fixture: randomness flows from an
+// injected, seeded generator.
+package workload
+
+import "math/rand"
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

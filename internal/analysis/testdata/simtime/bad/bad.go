@@ -1,0 +1,16 @@
+// Package netsim is the simtime bad fixture: it is loaded under the
+// import path fractal/internal/netsim, so introducing a time.Now() call
+// into the real netsim package fails the suite exactly as these lines do.
+package netsim
+
+import "time"
+
+func bad() (time.Time, <-chan time.Time) {
+	now := time.Now()                //want simtime:9
+	time.Sleep(time.Millisecond)     //want simtime:2
+	after := time.After(time.Second) //want simtime:11
+	return now, after
+}
+
+//fractal:allow simtime stale annotation suppressing nothing //want allowcheck:1
+var unusedGap time.Duration

@@ -1,0 +1,15 @@
+// Package netsim is the simtime good fixture: duration arithmetic is
+// fine, and a genuine real-I/O site may read the wall clock under a
+// checked annotation.
+package netsim
+
+import "time"
+
+func goodDuration(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+func goodAnnotated() time.Time {
+	//fractal:allow simtime — fixture real-I/O site
+	return time.Now()
+}

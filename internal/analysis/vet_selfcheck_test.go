@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestVetSelfCheck runs the full fractal-vet suite against this repository
+// itself, so tier-1 verification (`go test ./...`) enforces the
+// determinism, digest-safety, and error-handling invariants forever: a
+// change that reads the wall clock in internal/netsim, draws from the
+// global math/rand source, discards a codec error, leaves a VM opcode
+// unhandled, or compares digests ad hoc fails this test.
+func TestVetSelfCheck(t *testing.T) {
+	loader := getLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("module walk found no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.Path, te)
+		}
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -60,7 +60,10 @@ type Stats struct {
 	PrecomputeHits int64
 }
 
-// Server is one Fractal application server instance.
+// Server is one Fractal application server instance. Server is safe for
+// concurrent use: all mutable state (resources, PADs, transcoders, the
+// encode cache, and stats) is guarded by a single RWMutex, so many
+// sessions may encode and negotiate at once.
 type Server struct {
 	appID  string
 	signer *mobilecode.Signer

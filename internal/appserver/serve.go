@@ -15,7 +15,9 @@ import (
 
 // INPServer is the application server's network front end: each connection
 // carries an application session, a stream of APP_REQ messages answered
-// with APP_REP carrying PAD-encoded content.
+// with APP_REP carrying PAD-encoded content. INPServer serves each
+// connection on its own goroutine and is safe for concurrent use; the
+// underlying Server provides the locking.
 type INPServer struct {
 	app  *Server
 	sem  chan struct{}
@@ -118,6 +120,7 @@ func (s *INPServer) ServeConn(rw net.Conn) error {
 	c := inp.NewConn(rw)
 	for {
 		if s.idle > 0 {
+			//fractal:allow simtime — real socket read deadline, not simulated time
 			_ = rw.SetReadDeadline(time.Now().Add(s.idle))
 		}
 		var req inp.AppReq

@@ -69,7 +69,10 @@ type EdgeStats struct {
 }
 
 // Edge is one CDN edgeserver: an LRU cache in a region, filling from the
-// origin on miss.
+// origin on miss. Edge methods are safe for concurrent use once the
+// struct is built: the cache carries its own lock and the stats are
+// atomic counters. The exported configuration fields must not be mutated
+// after construction.
 type Edge struct {
 	ID     string
 	Region string
@@ -164,6 +167,8 @@ func (e *Edge) Stats() EdgeStats {
 // CDN is the distribution network: an origin plus edgeservers. It
 // implements the paper's "it is the CDN's responsibility to find the
 // closest edgeserver which holds the PAD, and to redirect the request".
+// CDN is safe for concurrent use; the edge list is guarded by an RWMutex
+// and each Edge synchronizes independently.
 type CDN struct {
 	origin *Origin
 	mu     sync.RWMutex

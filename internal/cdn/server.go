@@ -15,6 +15,9 @@ import (
 // PADServer is a network front end serving PAD_DOWNLOAD_REQ over INP from
 // an object store. One instance over the origin is the paper's
 // "centralized PAD server"; one per edge store is an edgeserver daemon.
+// PADServer serves each connection on its own goroutine and is safe for
+// concurrent use: its own state is immutable after construction and the
+// backing store synchronizes itself.
 type PADServer struct {
 	store *Origin
 	sem   chan struct{}
@@ -98,6 +101,7 @@ func (s *PADServer) ServeConn(rw net.Conn) error {
 	c := inp.NewConn(rw)
 	for {
 		if s.idle > 0 {
+			//fractal:allow simtime — real socket read deadline, not simulated time
 			_ = rw.SetReadDeadline(time.Now().Add(s.idle))
 		}
 		var req inp.PADDownloadReq

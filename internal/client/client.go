@@ -73,7 +73,10 @@ type contentEntry struct {
 	data    []byte
 }
 
-// Client is one Fractal client host.
+// Client is one Fractal client host. Client is safe for concurrent use:
+// the protocol cache, deployed PADs, content versions, and stats are all
+// guarded by one mutex, so concurrent fetches from multiple goroutines
+// are race-free.
 type Client struct {
 	cfg     Config
 	neg     Negotiator
@@ -179,7 +182,7 @@ func (c *Client) deployPAD(meta core.PADMeta) error {
 	}
 	// Bind the downloaded module to the negotiated metadata: the digest
 	// the proxy advertised must match the module we actually received.
-	if pad.Module().Digest != meta.Digest {
+	if !mobilecode.DigestEqual(pad.Module().Digest, meta.Digest) {
 		c.mu.Lock()
 		c.stats.SecurityRejections++
 		c.mu.Unlock()

@@ -1,10 +1,12 @@
 package codec
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // DefaultBlockSize is the fixed block granularity of the Bitmap protocol.
@@ -96,9 +98,17 @@ func (b *Bitmap) Encode(old, cur []byte) ([]byte, error) {
 
 // Decode implements Codec.
 func (b *Bitmap) Decode(old, payload []byte) ([]byte, error) {
-	r := bytes.NewReader(payload)
+	return b.DecodeFrom(old, bytes.NewReader(payload))
+}
+
+// DecodeFrom decodes a Bitmap payload from a stream. The reader may
+// deliver arbitrarily short reads (chunked transports routinely do);
+// every framed field is read with io.ReadFull so a short read is a
+// truncation error, never silently-misparsed framing.
+func (b *Bitmap) DecodeFrom(old []byte, src io.Reader) ([]byte, error) {
+	r := bufio.NewReader(src)
 	magic := make([]byte, len(bitmapMagic))
-	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, bitmapMagic) {
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, bitmapMagic) {
 		return nil, fmt.Errorf("codec: bitmap payload: bad magic")
 	}
 	readU := func(what string) (uint64, error) {
@@ -133,7 +143,7 @@ func (b *Bitmap) Decode(old, payload []byte) ([]byte, error) {
 	}
 	nblocks := (curLen + bs - 1) / bs
 	bitmap := make([]byte, (nblocks+7)/8)
-	if _, err := readFull(r, bitmap); err != nil {
+	if _, err := io.ReadFull(r, bitmap); err != nil {
 		return nil, fmt.Errorf("codec: bitmap payload: truncated bitmap: %w", err)
 	}
 	out := make([]byte, 0, curLen)
@@ -146,7 +156,7 @@ func (b *Bitmap) Decode(old, payload []byte) ([]byte, error) {
 		blkLen := end - start
 		if bitmap[i/8]&(1<<(i%8)) != 0 {
 			lit := make([]byte, blkLen)
-			if _, err := readFull(r, lit); err != nil {
+			if _, err := io.ReadFull(r, lit); err != nil {
 				return nil, fmt.Errorf("codec: bitmap payload: truncated literal block %d: %w", i, err)
 			}
 			out = append(out, lit...)
@@ -157,21 +167,8 @@ func (b *Bitmap) Decode(old, payload []byte) ([]byte, error) {
 		}
 		out = append(out, old[start:start+blkLen]...)
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("codec: bitmap payload has %d trailing bytes", r.Len())
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("codec: bitmap payload has trailing bytes")
 	}
 	return out, nil
-}
-
-// readFull fills buf from r or reports how far it got.
-func readFull(r *bytes.Reader, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		m, err := r.Read(buf[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }

@@ -5,6 +5,7 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // rsyncMagic identifies an Rsync wire payload.
@@ -164,7 +165,7 @@ func (r *Rsync) Encode(old, cur []byte) ([]byte, error) {
 func (r *Rsync) Decode(old, payload []byte) ([]byte, error) {
 	rd := bytes.NewReader(payload)
 	magic := make([]byte, len(rsyncMagic))
-	if _, err := readFull(rd, magic); err != nil || !bytes.Equal(magic, rsyncMagic) {
+	if _, err := io.ReadFull(rd, magic); err != nil || !bytes.Equal(magic, rsyncMagic) {
 		return nil, fmt.Errorf("codec: rsync payload: bad magic")
 	}
 	readU := func(what string) (uint64, error) {
@@ -229,7 +230,7 @@ func (r *Rsync) Decode(old, payload []byte) ([]byte, error) {
 				return nil, fmt.Errorf("codec: rsync payload: literal of %d bytes exceeds remaining %d", n, rd.Len())
 			}
 			lit := make([]byte, n)
-			if _, err := readFull(rd, lit); err != nil {
+			if _, err := io.ReadFull(rd, lit); err != nil {
 				return nil, fmt.Errorf("codec: rsync payload: truncated literal: %w", err)
 			}
 			out = append(out, lit...)

@@ -5,6 +5,7 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"fractal/internal/rabin"
 )
@@ -104,7 +105,7 @@ func (v *VaryBlock) Encode(old, cur []byte) ([]byte, error) {
 func (v *VaryBlock) Decode(old, payload []byte) ([]byte, error) {
 	r := bytes.NewReader(payload)
 	magic := make([]byte, len(varyMagic))
-	if _, err := readFull(r, magic); err != nil || !bytes.Equal(magic, varyMagic) {
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, varyMagic) {
 		return nil, fmt.Errorf("codec: varyblock payload: bad magic")
 	}
 	readU := func(what string) (uint64, error) {
@@ -162,7 +163,7 @@ func (v *VaryBlock) Decode(old, payload []byte) ([]byte, error) {
 				return nil, fmt.Errorf("codec: varyblock payload: literal of %d bytes exceeds remaining %d", n, r.Len())
 			}
 			lit := make([]byte, n)
-			if _, err := readFull(r, lit); err != nil {
+			if _, err := io.ReadFull(r, lit); err != nil {
 				return nil, fmt.Errorf("codec: varyblock payload: truncated literal: %w", err)
 			}
 			out = append(out, lit...)

@@ -63,6 +63,7 @@ func RunFig9a(s *Setup, clientCounts []int) (Fig9aResult, error) {
 			go func(i int) {
 				defer wg.Done()
 				env := EnvFor(stations[i%len(stations)])
+				//fractal:allow simtime — fig9a measures real TCP negotiation latency
 				start := time.Now()
 				_, err := neg.Negotiate(s.App.AppID(), env, s.Config.SessionRequests)
 				durs[i] = time.Since(start)

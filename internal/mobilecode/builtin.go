@@ -191,7 +191,7 @@ func BuildModule(spec BuiltinSpec, version string, signer *Signer) (*Module, err
 		params[k] = v
 	}
 	if spec.LibBytes > 0 {
-		params["lib"] = string(libBlob(spec.ID, spec.LibBytes))
+		params["lib"] = string(libBlob(rand.New(rand.NewSource(libSeed(spec.ID))), spec.LibBytes))
 	}
 	return NewModule(spec.ID, version, Payload{
 		Protocol: spec.Protocol,
@@ -215,14 +215,20 @@ func BuildBuiltins(version string, signer *Signer) ([]*Module, error) {
 	return out, nil
 }
 
-// libBlob deterministically synthesizes a support-library blob of printable
-// bytes (JSON-safe) for a PAD.
-func libBlob(id string, n int) []byte {
+// libSeed derives a PAD's deterministic blob seed from its identifier, so
+// every build of the same module carries byte-identical support-library
+// bytes (the module digest depends on them).
+func libSeed(id string) int64 {
 	var seed int64
 	for _, c := range id {
 		seed = seed*131 + int64(c)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	return seed
+}
+
+// libBlob synthesizes a support-library blob of printable bytes
+// (JSON-safe) for a PAD from an explicit seeded generator.
+func libBlob(rng *rand.Rand, n int) []byte {
 	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
 	b := make([]byte, n)
 	for i := range b {

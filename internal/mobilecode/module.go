@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 )
 
 // moduleMagic identifies a packed PAD module on the wire and in CDN
@@ -113,7 +114,7 @@ func (m *Module) Pack() ([]byte, error) {
 func Unpack(data []byte) (*Module, error) {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(moduleMagic))
-	if _, err := readFullR(r, magic); err != nil || !bytes.Equal(magic, moduleMagic) {
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, moduleMagic) {
 		return nil, errors.New("mobilecode: not a PAD module (bad magic)")
 	}
 	readBytes := func(what string, max uint64) ([]byte, error) {
@@ -125,7 +126,7 @@ func Unpack(data []byte) (*Module, error) {
 			return nil, fmt.Errorf("mobilecode: module %s of %d bytes is unreasonable", what, n)
 		}
 		b := make([]byte, n)
-		if _, err := readFullR(r, b); err != nil {
+		if _, err := io.ReadFull(r, b); err != nil {
 			return nil, fmt.Errorf("mobilecode: module %s truncated: %w", what, err)
 		}
 		return b, nil
@@ -147,7 +148,7 @@ func Unpack(data []byte) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{ID: string(id), Version: string(version), Entity: string(entity), Payload: payload}
-	if _, err := readFullR(r, m.Digest[:]); err != nil {
+	if _, err := io.ReadFull(r, m.Digest[:]); err != nil {
 		return nil, fmt.Errorf("mobilecode: module digest truncated: %w", err)
 	}
 	if m.Sig, err = readBytes("signature", 1024); err != nil {
@@ -156,21 +157,8 @@ func Unpack(data []byte) (*Module, error) {
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("mobilecode: module has %d trailing bytes", r.Len())
 	}
-	if got := sha1.Sum(m.Payload); got != m.Digest {
+	if got := sha1.Sum(m.Payload); !DigestEqual(got, m.Digest) {
 		return nil, fmt.Errorf("mobilecode: module %s payload digest mismatch (corrupted in transit?)", m.ID)
 	}
 	return m, nil
-}
-
-// readFullR fills buf from r with io.ReadFull semantics.
-func readFullR(r *bytes.Reader, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		m, err := r.Read(buf[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }

@@ -4,10 +4,20 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha1"
+	"crypto/subtle"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// DigestEqual reports whether two SHA-1 payload digests match, in constant
+// time. It is the single designated digest comparison of the deployment
+// pipeline: signature checks go through ed25519.Verify and digest checks
+// go through here, which the digestsafe analyzer (cmd/fractal-vet)
+// enforces across mobilecode, cdn, and client.
+func DigestEqual(a, b [sha1.Size]byte) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
 
 // Signer produces code signatures for PAD modules, the paper's
 // code-signing mechanism (Section 3.5): clients manage a list of entities

@@ -14,6 +14,8 @@ import (
 )
 
 // NegotiationManager maps client metadata to the PADs the client needs.
+// It is safe for concurrent use; the PAT registry is guarded by an
+// RWMutex so negotiations may proceed while applications register.
 type NegotiationManager struct {
 	mu    sync.RWMutex
 	pats  map[string]*core.PAT
@@ -84,7 +86,9 @@ type Stats struct {
 }
 
 // Proxy couples the negotiation manager with the distribution manager's
-// adaptation cache and the INP server front end.
+// adaptation cache and the INP server front end. Proxy is safe for
+// concurrent use: the authorizer swap is guarded by its own RWMutex,
+// stats are atomic, and the manager and cache synchronize themselves.
 type Proxy struct {
 	nm    *NegotiationManager
 	cache *core.AdaptationCache

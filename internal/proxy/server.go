@@ -15,7 +15,9 @@ import (
 // Server is the proxy's INP front end: goroutine-per-connection with a
 // bounded concurrency semaphore, running the Figure 4 negotiation exchange
 // (INIT_REQ -> INIT_REP + CLI_META_REQ -> CLI_META_REP -> PAD_META_REP)
-// on each connection.
+// on each connection. Server is safe for concurrent use: its own fields
+// are immutable after construction and the Proxy it fronts synchronizes
+// itself.
 type Server struct {
 	proxy *Proxy
 	sem   chan struct{}
@@ -36,6 +38,7 @@ func (s *Server) SetIdleTimeout(d time.Duration) { s.idle = d }
 // armDeadline applies the idle timeout to a connection if configured.
 func (s *Server) armDeadline(conn net.Conn) {
 	if s.idle > 0 {
+		//fractal:allow simtime — real socket read deadline, not simulated time
 		_ = conn.SetReadDeadline(time.Now().Add(s.idle))
 	}
 }

@@ -22,7 +22,10 @@ import (
 
 // Transcoder rewrites application content into an adapted rendition. The
 // transform must be deterministic: two calls on equal input yield equal
-// output.
+// output. Implementations must also be safe for concurrent use — the
+// application server calls Transform from many sessions at once — which
+// in practice means keeping them stateless, as Identity and Thumbnail
+// are.
 type Transcoder interface {
 	// Name returns the registry name.
 	Name() string

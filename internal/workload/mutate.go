@@ -64,10 +64,15 @@ func (m Mutation) Validate() error {
 
 // Mutate returns a new version of the page. The original is not modified.
 func Mutate(p *Page, m Mutation) (*Page, error) {
+	return MutateRand(NewRand(m.Seed^int64(len(p.Text))), p, m)
+}
+
+// MutateRand is Mutate drawing every random decision from an explicit
+// seeded generator.
+func MutateRand(rng *rand.Rand, p *Page, m Mutation) (*Page, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(p.Text))))
 	q := p.Clone()
 	q.Version = p.Version + 1
 	q.Text = mutateText(rng, q.Text, m.TextEditFrac, m.TextInsertFrac)

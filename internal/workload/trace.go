@@ -44,13 +44,18 @@ func (c TraceConfig) Validate() error {
 // page popularity follows a Zipf distribution and requests round-robin
 // across clients.
 func GenerateTrace(c *Corpus, cfg TraceConfig) ([]Request, error) {
+	return GenerateTraceRand(NewRand(cfg.Seed), c, cfg)
+}
+
+// GenerateTraceRand is GenerateTrace drawing from an explicit seeded
+// generator.
+func GenerateTraceRand(rng *rand.Rand, c *Corpus, cfg TraceConfig) ([]Request, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(c.Pages) == 0 {
 		return nil, fmt.Errorf("workload: trace over empty corpus")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(c.Pages)-1))
 	if zipf == nil {
 		return nil, fmt.Errorf("workload: bad zipf parameters (s=%v, n=%d)", cfg.ZipfS, len(c.Pages))

@@ -128,13 +128,27 @@ var words = []string{
 	"left", "right", "anterior", "posterior", "update", "annotation",
 }
 
+// NewRand returns the seeded generator all workload randomness flows
+// through. Threading an explicit *rand.Rand (rather than touching the
+// global math/rand source, which fractal-vet's rawrand analyzer forbids)
+// is what keeps corpus generation, mutation, and traces reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // Generate builds a corpus deterministically from the configuration; the
 // same Config always yields byte-identical content.
 func Generate(cfg Config) (*Corpus, error) {
+	return GenerateRand(NewRand(cfg.Seed), cfg)
+}
+
+// GenerateRand is Generate drawing from an explicit generator. Page slab
+// dictionaries are still derived from cfg.Seed so that later mutations of
+// the same corpus can regenerate them.
+func GenerateRand(rng *rand.Rand, cfg Config) (*Corpus, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	noise := cfg.NoiseEvery
 	if noise == 0 {
 		noise = 2
@@ -192,7 +206,7 @@ const slabPoolLen = 48
 // slabPool deterministically derives a page's slab dictionary from its
 // PoolSeed. Both versions of a page regenerate the identical pool.
 func slabPool(seed int64, noiseEvery int) [][]byte {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRand(seed)
 	pool := make([][]byte, slabPoolLen)
 	for i := range pool {
 		pool[i] = genSlab(rng, noiseEvery)
