@@ -169,6 +169,110 @@ func BenchmarkFig10ComputeOverhead(b *testing.B) {
 	}
 }
 
+// benchCorpus returns all (old, cur) page pairs of the 75-page corpus.
+func benchCorpus(b *testing.B, s *experiment.Setup) (olds, curs [][]byte) {
+	b.Helper()
+	olds = make([][]byte, len(s.V1.Pages))
+	curs = make([][]byte, len(s.V2.Pages))
+	for i := range s.V1.Pages {
+		olds[i] = s.V1.Pages[i].Bytes()
+		curs[i] = s.V2.Pages[i].Bytes()
+	}
+	return olds, curs
+}
+
+// BenchmarkVaryEncodeHot measures VaryBlock.Encode over the full corpus with
+// a warm shared chunk-index cache — the appserver's steady state, where every
+// session re-encodes pages whose indexes are already cached.
+func BenchmarkVaryEncodeHot(b *testing.B) {
+	s := getSetup(b)
+	olds, curs := benchCorpus(b, s)
+	vb, err := codec.NewVaryBlock()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Size the cache to hold both versions of every page so the timed loop
+	// never evicts.
+	cache := codec.NewChunkCache(2*len(olds) + 2)
+	vb.UseChunkCache(cache)
+	var total int64
+	for i := range olds {
+		out, err := vb.Encode(olds[i], curs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(curs[i]))
+		_ = out
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range olds {
+			if _, err := vb.Encode(olds[j], curs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(total)
+}
+
+// BenchmarkVaryEncodeCold measures the same corpus sweep through a stateless
+// VaryBlock: every encode re-chunks and re-digests both versions from
+// scratch. The hot/cold ratio is the chunk-index cache's payoff.
+func BenchmarkVaryEncodeCold(b *testing.B) {
+	s := getSetup(b)
+	olds, curs := benchCorpus(b, s)
+	vb, err := codec.NewVaryBlock()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for i := range olds {
+		total += int64(len(curs[i]))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range olds {
+			if _, err := vb.Encode(olds[j], curs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(total)
+}
+
+// BenchmarkBitmapDigestParallel measures per-block SHA-1 digesting of a
+// corpus-sized buffer: "small" stays under the parallel threshold (serial
+// path), "large" crosses it and fans out across the digest worker pool.
+func BenchmarkBitmapDigestParallel(b *testing.B) {
+	s := getSetup(b)
+	_, curs := benchCorpus(b, s)
+	var big []byte
+	for _, c := range curs {
+		big = append(big, c...)
+	}
+	bm, err := codec.NewBitmap(codec.DefaultBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	small := big[:32<<10]
+	b.Run("small-serial", func(b *testing.B) {
+		b.SetBytes(int64(len(small)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bm.BlockDigests(small)
+		}
+	})
+	b.Run("large-parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(big)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bm.BlockDigests(big)
+		}
+	})
+}
+
 // BenchmarkFig11aBytesTransferred reports the measured per-request bytes
 // of each protocol (Figure 11(a)) as benchmark metrics.
 func BenchmarkFig11aBytesTransferred(b *testing.B) {

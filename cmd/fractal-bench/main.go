@@ -5,16 +5,25 @@
 //
 //	fractal-bench -exp all
 //	fractal-bench -exp fig9b -clients 1,50,100,200,300
-//	fractal-bench -exp headline
+//	fractal-bench -exp headline -json
+//	fractal-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig9a, fig9b, fig10, fig10d, fig11a, fig11b,
 // fig11c, headline, capacity, timeline, premise, session, all.
+//
+// With -json the sections are emitted as one JSON document (each TSV row
+// split into fields) instead of the human-readable text, for consumption by
+// plotting or regression-tracking scripts. -cpuprofile and -memprofile
+// write pprof profiles covering the experiment runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,13 +32,30 @@ import (
 	"fractal/internal/workload"
 )
 
+// section is one experiment's output: a title plus TSV rows.
+type section struct {
+	ID    string
+	Title string
+	Rows  []string
+}
+
+// jsonSection is the -json wire form of a section, TSV rows split.
+type jsonSection struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Rows  [][]string `json:"rows"`
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
-		clients = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
-		pages   = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
-		seed    = flag.Int64("seed", 0, "override workload seed")
-		edges   = flag.Int("edges", 0, "override CDN edgeserver count")
+		exp        = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
+		clients    = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
+		pages      = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
+		seed       = flag.Int64("seed", 0, "override workload seed")
+		edges      = flag.Int("edges", 0, "override CDN edgeserver count")
+		jsonOut    = flag.Bool("json", false, "emit sections as one JSON document instead of text")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
 	flag.Parse()
 
@@ -54,196 +80,234 @@ func main() {
 		fatal(err)
 	}
 
-	run := map[string]func() error{
-		"table1":   func() error { return runTable1(s) },
-		"fig9a":    func() error { return runFig9a(s, counts) },
-		"fig9b":    func() error { return runFig9b(s, counts) },
-		"fig10":    func() error { return runFig10(s, true) },
-		"fig10d":   func() error { return runFig10(s, false) },
-		"fig11a":   func() error { return runFig11a(s) },
-		"fig11b":   func() error { return runFig11(s, true) },
-		"fig11c":   func() error { return runFig11(s, false) },
-		"headline": func() error { return runHeadline(s) },
-		"capacity": func() error { return runCapacity(s) },
-		"timeline": func() error { return runTimeline(s) },
-		"premise":  func() error { return runPremise(cfg.Seed) },
-		"session":  func() error { return runSession(s, cfg.SessionRequests) },
+	run := map[string]func() (section, error){
+		"table1":   func() (section, error) { return runTable1(s) },
+		"fig9a":    func() (section, error) { return runFig9a(s, counts) },
+		"fig9b":    func() (section, error) { return runFig9b(s, counts) },
+		"fig10":    func() (section, error) { return runFig10(s, true) },
+		"fig10d":   func() (section, error) { return runFig10(s, false) },
+		"fig11a":   func() (section, error) { return runFig11a(s) },
+		"fig11b":   func() (section, error) { return runFig11(s, true) },
+		"fig11c":   func() (section, error) { return runFig11(s, false) },
+		"headline": func() (section, error) { return runHeadline(s) },
+		"capacity": func() (section, error) { return runCapacity(s) },
+		"timeline": func() (section, error) { return runTimeline(s) },
+		"premise":  func() (section, error) { return runPremise(cfg.Seed) },
+		"session":  func() (section, error) { return runSession(s, cfg.SessionRequests) },
 	}
 	order := []string{"table1", "fig9a", "fig9b", "fig10", "fig10d", "fig11a", "fig11b", "fig11c", "headline", "capacity", "timeline", "premise", "session"}
 
+	var ids []string
 	if *exp == "all" {
-		for _, id := range order {
-			if err := run[id](); err != nil {
+		ids = order
+	} else {
+		if _, ok := run[*exp]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", ")))
+		}
+		ids = []string{*exp}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
 				fatal(err)
 			}
+		}()
+	}
+
+	var collected []jsonSection
+	for _, id := range ids {
+		sec, err := run[id]()
+		if err != nil {
+			fatal(err)
 		}
-		return
+		sec.ID = id
+		if *jsonOut {
+			collected = append(collected, sec.toJSON())
+		} else {
+			sec.print()
+		}
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", ")))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fatal(err)
+		}
 	}
-	if err := f(); err != nil {
-		fatal(err)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-func header(title string) {
-	fmt.Printf("\n== %s ==\n", title)
+// print renders the section in the original human-readable text format.
+func (s section) print() {
+	fmt.Printf("\n== %s ==\n", s.Title)
+	for _, row := range s.Rows {
+		fmt.Println(row)
+	}
 }
 
-func runTable1(s *experiment.Setup) error {
-	header("Table 1: functions and implementations of PADs")
+// toJSON splits the TSV rows into fields for structured output.
+func (s section) toJSON() jsonSection {
+	js := jsonSection{ID: s.ID, Title: s.Title, Rows: make([][]string, len(s.Rows))}
+	for i, row := range s.Rows {
+		js.Rows[i] = strings.Split(row, "\t")
+	}
+	return js
+}
+
+func runTable1(s *experiment.Setup) (section, error) {
+	sec := section{Title: "Table 1: functions and implementations of PADs"}
 	rows, err := experiment.RunTable1(s)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	fmt.Println("pad\tfunction\timplementation\tmodule_bytes")
+	sec.Rows = append(sec.Rows, "pad\tfunction\timplementation\tmodule_bytes")
 	for _, r := range rows {
-		fmt.Printf("%s\t%s\t%s\t%d\n", r.Name, r.Function, r.Implementation, r.ModuleBytes)
+		sec.Rows = append(sec.Rows, fmt.Sprintf("%s\t%s\t%s\t%d", r.Name, r.Function, r.Implementation, r.ModuleBytes))
 	}
-	return nil
+	return sec, nil
 }
 
-func runFig9a(s *experiment.Setup, counts []int) error {
-	header("Figure 9(a): average negotiation time vs clients (real TCP)")
+func runFig9a(s *experiment.Setup, counts []int) (section, error) {
+	sec := section{Title: "Figure 9(a): average negotiation time vs clients (real TCP)"}
 	r, err := experiment.RunFig9a(s, counts)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Rows() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Rows()
+	return sec, nil
 }
 
-func runFig9b(s *experiment.Setup, counts []int) error {
-	header("Figure 9(b): PAD retrieval time, centralized vs CDN (simulated)")
+func runFig9b(s *experiment.Setup, counts []int) (section, error) {
+	sec := section{Title: "Figure 9(b): PAD retrieval time, centralized vs CDN (simulated)"}
 	r, err := experiment.RunFig9b(s, counts)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Rows() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Rows()
+	return sec, nil
 }
 
-func runFig10(s *experiment.Setup, includeServer bool) error {
+func runFig10(s *experiment.Setup, includeServer bool) (section, error) {
+	var sec section
 	if includeServer {
-		header("Figure 10(a-c): computing overhead per scenario (reactive server)")
+		sec.Title = "Figure 10(a-c): computing overhead per scenario (reactive server)"
 	} else {
-		header("Figure 10(d): computing overhead per scenario (proactive server)")
+		sec.Title = "Figure 10(d): computing overhead per scenario (proactive server)"
 	}
 	r, err := experiment.RunScenarios(s, includeServer)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.ComputingRows() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.ComputingRows()
+	return sec, nil
 }
 
-func runFig11a(s *experiment.Setup) error {
-	header("Figure 11(a): bytes transferred per protocol")
+func runFig11a(s *experiment.Setup) (section, error) {
+	sec := section{Title: "Figure 11(a): bytes transferred per protocol"}
 	r, err := experiment.RunFig11a(s)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Render() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Render()
+	return sec, nil
 }
 
-func runFig11(s *experiment.Setup, includeServer bool) error {
+func runFig11(s *experiment.Setup, includeServer bool) (section, error) {
+	var sec section
 	if includeServer {
-		header("Figure 11(b): total time with server-side difference computing")
+		sec.Title = "Figure 11(b): total time with server-side difference computing"
 	} else {
-		header("Figure 11(c): total time without server-side difference computing")
+		sec.Title = "Figure 11(c): total time without server-side difference computing"
 	}
 	g, err := experiment.RunFig11Grid(s, includeServer)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range g.Rows() {
-		fmt.Println(row)
-	}
+	sec.Rows = append(sec.Rows, g.Rows()...)
 	sc, err := experiment.RunScenarios(s, includeServer)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range sc.TotalRows() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = append(sec.Rows, sc.TotalRows()...)
+	return sec, nil
 }
 
-func runHeadline(s *experiment.Setup) error {
-	header("Headline: total overhead savings of adaptive protocol adaptation")
+func runHeadline(s *experiment.Setup) (section, error) {
+	sec := section{Title: "Headline: total overhead savings of adaptive protocol adaptation"}
 	r, err := experiment.RunHeadline(s)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Render() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Render()
+	return sec, nil
 }
 
-func runCapacity(s *experiment.Setup) error {
-	header("Extension: server capacity per adaptation scenario")
+func runCapacity(s *experiment.Setup) (section, error) {
+	sec := section{Title: "Extension: server capacity per adaptation scenario"}
 	trace, err := workload.GenerateTrace(s.V2, workload.DefaultTraceConfig(7))
 	if err != nil {
-		return err
+		return sec, err
 	}
 	r, err := experiment.RunCapacity(s, trace)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Render() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Render()
+	return sec, nil
 }
 
-func runTimeline(s *experiment.Setup) error {
-	header("Extension: first-contact timeline per station (Figure 4 sequence)")
+func runTimeline(s *experiment.Setup) (section, error) {
+	sec := section{Title: "Extension: first-contact timeline per station (Figure 4 sequence)"}
 	for _, st := range netsim.Stations() {
 		tl, err := experiment.RunTimeline(s, st)
 		if err != nil {
-			return err
+			return sec, err
 		}
-		for _, row := range tl.Render() {
-			fmt.Println(row)
-		}
+		sec.Rows = append(sec.Rows, tl.Render()...)
 	}
-	return nil
+	return sec, nil
 }
 
-func runPremise(seed int64) error {
-	header("Premise [30]: no single protocol wins across document classes")
+func runPremise(seed int64) (section, error) {
+	sec := section{Title: "Premise [30]: no single protocol wins across document classes"}
 	r, err := experiment.RunPremise(seed)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Render() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Render()
+	return sec, nil
 }
 
-func runSession(s *experiment.Setup, requests int) error {
-	header("Extension: whole-session client total delay per scenario")
+func runSession(s *experiment.Setup, requests int) (section, error) {
+	sec := section{Title: "Extension: whole-session client total delay per scenario"}
 	r, err := experiment.RunSessionTotals(s, requests)
 	if err != nil {
-		return err
+		return sec, err
 	}
-	for _, row := range r.Render() {
-		fmt.Println(row)
-	}
-	return nil
+	sec.Rows = r.Render()
+	return sec, nil
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -60,13 +60,21 @@ type Stats struct {
 	PrecomputeHits int64
 }
 
+// serverChunkCacheEntries bounds the server's shared chunk-index cache.
+// The corpus is 75 pages × a few versions × two differencing protocols;
+// 512 entries keeps every live (version, config) index resident while an
+// LRU bound still protects a server holding far more content.
+const serverChunkCacheEntries = 512
+
 // Server is one Fractal application server instance. Server is safe for
 // concurrent use: all mutable state (resources, PADs, transcoders, the
 // encode cache, and stats) is guarded by a single RWMutex, so many
-// sessions may encode and negotiate at once.
+// sessions may encode and negotiate at once. The chunk-index cache shared
+// by the differencing PADs is internally synchronized.
 type Server struct {
 	appID  string
 	signer *mobilecode.Signer
+	chunks *codec.ChunkCache
 
 	mu          sync.RWMutex
 	resources   map[string][][]byte             // resource -> versions (index 0 = v1)
@@ -95,6 +103,7 @@ func New(appID string, signer *mobilecode.Signer) (*Server, error) {
 	return &Server{
 		appID:       appID,
 		signer:      signer,
+		chunks:      codec.NewChunkCache(serverChunkCacheEntries),
 		resources:   map[string][][]byte{},
 		pads:        map[string]*pad{},
 		protoPAD:    map[string]string{},
@@ -209,10 +218,23 @@ func (s *Server) DeployPADs(moduleVersion string) error {
 		if err != nil {
 			return fmt.Errorf("appserver: native impl for %s: %w", spec.ID, err)
 		}
+		// Differencing protocols share the server-wide chunk-index cache:
+		// each installed version is chunked and digested once, not once per
+		// request (or once per precompute pass).
+		if cu, ok := codec.Codec(impl).(codec.ChunkCacheUser); ok {
+			cu.UseChunkCache(s.chunks)
+		}
 		s.pads[m.ID] = &pad{module: m, impl: impl}
 		s.protoPAD[spec.Protocol] = m.ID
 	}
 	return nil
+}
+
+// ChunkCacheStats reports the shared chunk-index cache's effectiveness —
+// on a warm server Hits should dwarf Misses, the whole point of the
+// hot-path engine.
+func (s *Server) ChunkCacheStats() codec.ChunkCacheStats {
+	return s.chunks.Stats()
 }
 
 // PADIDs returns the deployed PAD ids.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fractal/internal/codec"
 	"fractal/internal/core"
 	"fractal/internal/inp"
 	"fractal/internal/mobilecode"
@@ -238,6 +239,23 @@ func (c *Client) Request(appID, resource string) ([]byte, error) {
 	c.stats.ContentBytes += int64(len(data))
 	c.mu.Unlock()
 	return data, nil
+}
+
+// DecodeCacheStats sums the chunk-index cache counters of every deployed
+// PAD: the hot-path engine's client-side effect. On a session issuing
+// differential requests against held versions, Hits grows with every
+// request after the first touch of a version.
+func (c *Client) DecodeCacheStats() codec.ChunkCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total codec.ChunkCacheStats
+	for _, pad := range c.deployed {
+		st := pad.ChunkCacheStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Entries += st.Entries
+	}
+	return total
 }
 
 // HeldVersion reports which version of a resource the client caches.

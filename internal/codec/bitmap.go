@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // DefaultBlockSize is the fixed block granularity of the Bitmap protocol.
@@ -23,8 +24,18 @@ var bitmapMagic = []byte("FBM1")
 // (UpstreamBytes); the simulation charges that traffic, while Encode — run
 // where the server already stores the old version — compares blocks
 // directly.
+//
+// Bitmap is stateless and safe for concurrent use. With a shared
+// ChunkCache attached (UseChunkCache, set before concurrent use begins)
+// Encode compares the cached per-version digest vectors instead of the raw
+// bytes — the comparison the real digest exchange performs — so each
+// version is digested once and subsequent requests touch 20 bytes per
+// block instead of the full content. Payloads are byte-identical either
+// way.
 type Bitmap struct {
 	blockSize int
+	conf      string      // cache-key descriptor of the block size
+	cache     *ChunkCache // nil = stateless
 }
 
 // NewBitmap returns a Bitmap protocol with the given block size.
@@ -32,7 +43,24 @@ func NewBitmap(blockSize int) (*Bitmap, error) {
 	if blockSize < 16 || blockSize > 1<<20 {
 		return nil, fmt.Errorf("codec: bitmap block size %d out of range [16, 1MiB]", blockSize)
 	}
-	return &Bitmap{blockSize: blockSize}, nil
+	return &Bitmap{blockSize: blockSize, conf: fmt.Sprintf("bitmap|%d", blockSize)}, nil
+}
+
+// UseChunkCache implements ChunkCacheUser. It must be called before the
+// codec is used concurrently.
+func (b *Bitmap) UseChunkCache(c *ChunkCache) { b.cache = c }
+
+// BlockDigests returns the SHA-1 of every block of data — the per-block
+// vector the client uploads in the full exchange. Digests are computed
+// with the bounded parallel pool above its threshold and served from the
+// shared cache when one is attached.
+func (b *Bitmap) BlockDigests(data []byte) [][sha1.Size]byte {
+	if b.cache == nil || len(data) == 0 {
+		return sha1Blocks(data, b.blockSize)
+	}
+	return b.cache.getOrBuild(b.conf, data, func() *ChunkIndex {
+		return buildBlockIndex(b.blockSize, data)
+	}).Sums
 }
 
 // Name implements Codec.
@@ -64,7 +92,21 @@ func (b *Bitmap) Encode(old, cur []byte) ([]byte, error) {
 	bs := b.blockSize
 	nblocks := (len(cur) + bs - 1) / bs
 	bitmap := make([]byte, (nblocks+7)/8)
-	var lits bytes.Buffer
+	// With a cache attached, compare the memoized digest vectors (the real
+	// exchange's comparison): each version is digested once, then every
+	// request against it reads 20 bytes per block. Stateless encodes
+	// compare raw bytes — cheaper than hashing both sides once.
+	var oldSums, curSums [][sha1.Size]byte
+	if b.cache != nil && len(old) > 0 {
+		oldSums, curSums = b.BlockDigests(old), b.BlockDigests(cur)
+	}
+	lits := opsBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if lits.Cap() <= 4*maxDecodeReserve {
+			opsBufPool.Put(lits)
+		}
+	}()
+	lits.Reset()
 	for i := 0; i < nblocks; i++ {
 		start := i * bs
 		end := start + bs
@@ -78,22 +120,26 @@ func (b *Bitmap) Encode(old, cur []byte) ([]byte, error) {
 			if oend > len(old) {
 				oend = len(old)
 			}
-			same = bytes.Equal(curBlk, old[start:oend])
+			if oldSums != nil {
+				same = oend-start == len(curBlk) && oldSums[i] == curSums[i]
+			} else {
+				same = bytes.Equal(curBlk, old[start:oend])
+			}
 		}
 		if !same {
 			bitmap[i/8] |= 1 << (i % 8)
 			lits.Write(curBlk)
 		}
 	}
-	out := bytes.NewBuffer(nil)
-	out.Write(bitmapMagic)
 	var tmp [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, len(bitmapMagic)+3*binary.MaxVarintLen64+len(bitmap)+lits.Len())
+	out = append(out, bitmapMagic...)
 	for _, v := range []uint64{uint64(bs), uint64(len(cur)), uint64(len(old))} {
-		out.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], v)]...)
 	}
-	out.Write(bitmap)
-	out.Write(lits.Bytes())
-	return out.Bytes(), nil
+	out = append(out, bitmap...)
+	out = append(out, lits.Bytes()...)
+	return out, nil
 }
 
 // Decode implements Codec.
@@ -146,7 +192,13 @@ func (b *Bitmap) DecodeFrom(old []byte, src io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, bitmap); err != nil {
 		return nil, fmt.Errorf("codec: bitmap payload: truncated bitmap: %w", err)
 	}
-	out := make([]byte, 0, curLen)
+	reserve := curLen
+	if reserve > maxDecodeReserve {
+		// An unvalidated header length must not force a huge allocation;
+		// the output grows naturally as blocks are actually produced.
+		reserve = maxDecodeReserve
+	}
+	out := make([]byte, 0, reserve)
 	for i := 0; i < nblocks; i++ {
 		start := i * bs
 		end := start + bs
@@ -155,11 +207,13 @@ func (b *Bitmap) DecodeFrom(old []byte, src io.Reader) ([]byte, error) {
 		}
 		blkLen := end - start
 		if bitmap[i/8]&(1<<(i%8)) != 0 {
-			lit := make([]byte, blkLen)
-			if _, err := io.ReadFull(r, lit); err != nil {
+			// Read the literal straight into the output's free space — no
+			// per-block staging slice.
+			off := len(out)
+			out = slices.Grow(out, blkLen)[:off+blkLen]
+			if _, err := io.ReadFull(r, out[off:]); err != nil {
 				return nil, fmt.Errorf("codec: bitmap payload: truncated literal block %d: %w", i, err)
 			}
-			out = append(out, lit...)
 			continue
 		}
 		if start+blkLen > len(old) {

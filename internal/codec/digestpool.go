@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"crypto/sha1"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fractal/internal/rabin"
+)
+
+// parallelDigestThreshold is the input size below which region digesting
+// stays serial: goroutine fan-out costs more than it saves on small
+// buffers, and the paper's ~32 KB images sit right at the boundary.
+const parallelDigestThreshold = 128 << 10
+
+// maxDigestWorkers bounds the digest pool regardless of GOMAXPROCS so a
+// single large encode cannot monopolize a big server.
+const maxDigestWorkers = 8
+
+// sha1Chunks computes the SHA-1 of every chunk of data. Above
+// parallelDigestThreshold the chunks are fanned across a bounded worker
+// pool; each worker claims indices from an atomic counter and writes into
+// its own slot of the result slice, so the output order is the chunk order
+// regardless of scheduling — the determinism the cache and the wire format
+// both rely on.
+func sha1Chunks(data []byte, chunks []rabin.Chunk) [][sha1.Size]byte {
+	sums := make([][sha1.Size]byte, len(chunks))
+	workers := digestWorkers(len(data), len(chunks))
+	if workers < 2 {
+		for i, c := range chunks {
+			sums[i] = sha1.Sum(data[c.Offset : c.Offset+c.Length])
+		}
+		return sums
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				c := chunks[i]
+				sums[i] = sha1.Sum(data[c.Offset : c.Offset+c.Length])
+			}
+		}()
+	}
+	wg.Wait()
+	return sums
+}
+
+// sha1Blocks computes the SHA-1 of every blockSize-aligned block of data
+// (the Bitmap protocol's client-side digest vector), in parallel above the
+// threshold with the same deterministic indexed-result scheme as
+// sha1Chunks.
+func sha1Blocks(data []byte, blockSize int) [][sha1.Size]byte {
+	n := (len(data) + blockSize - 1) / blockSize
+	sums := make([][sha1.Size]byte, n)
+	block := func(i int) []byte {
+		start := i * blockSize
+		end := start + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		return data[start:end]
+	}
+	workers := digestWorkers(len(data), n)
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			sums[i] = sha1.Sum(block(i))
+		}
+		return sums
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				sums[i] = sha1.Sum(block(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return sums
+}
+
+// digestWorkers sizes the pool: 1 means stay serial.
+func digestWorkers(totalBytes, regions int) int {
+	if totalBytes < parallelDigestThreshold || regions < 2 {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxDigestWorkers {
+		workers = maxDigestWorkers
+	}
+	if workers > regions {
+		workers = regions
+	}
+	return workers
+}

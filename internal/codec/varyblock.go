@@ -2,10 +2,11 @@ package codec
 
 import (
 	"bytes"
-	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
+	"sync"
 
 	"fractal/internal/rabin"
 )
@@ -19,6 +20,17 @@ const (
 	varyOpLit = 1 // literal bytes follow
 )
 
+// maxDecodeReserve caps the output capacity reserved up front from an
+// unvalidated header length: a hostile curLen (up to the 1<<32 sanity
+// bound) must not force a multi-GB allocation before a single op has been
+// checked. Larger outputs grow naturally as ops prove themselves.
+const maxDecodeReserve = 1 << 20
+
+// opsBufPool recycles the per-encode op assembly buffer; encode is the
+// per-request server hot path and the buffer would otherwise regrow from
+// nothing on every call.
+var opsBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 // VaryBlock is the LBFS-style vary-sized blocking protocol [34]: files are
 // divided into chunks demarcated where the Rabin fingerprint of the
 // previous 48 bytes matches a specific value, so boundaries follow content
@@ -27,8 +39,16 @@ const (
 // as a reference to an old chunk (wherever it occurs) or as a literal. The
 // client re-chunks its old copy with the identical parameters — which
 // travel inside the PAD — and resolves the references.
+//
+// VaryBlock is stateless and safe for concurrent use. Optionally a shared
+// ChunkCache (UseChunkCache, set before concurrent use begins) memoizes
+// the per-version chunk list + digest index, so the base version of a page
+// is chunked and digested once per version instead of once per request;
+// payloads are byte-identical either way.
 type VaryBlock struct {
 	chunker *rabin.Chunker
+	conf    string      // cache-key descriptor of the chunker config
+	cache   *ChunkCache // nil = stateless
 }
 
 // NewVaryBlock returns the protocol with the default LBFS-like chunking
@@ -44,7 +64,9 @@ func NewVaryBlockConfig(cfg rabin.ChunkerConfig) (*VaryBlock, error) {
 	if err != nil {
 		return nil, fmt.Errorf("codec: varyblock: %w", err)
 	}
-	return &VaryBlock{chunker: ch}, nil
+	conf := fmt.Sprintf("vary|%x|%d|%d|%d|%x|%x",
+		uint64(cfg.Pol), cfg.Window, cfg.MinSize, cfg.MaxSize, cfg.Mask, cfg.Magic)
+	return &VaryBlock{chunker: ch, conf: conf}, nil
 }
 
 // Name implements Codec.
@@ -53,12 +75,30 @@ func (*VaryBlock) Name() string { return NameVaryBlock }
 // ChunkerConfig returns the chunking parameters in use.
 func (v *VaryBlock) ChunkerConfig() rabin.ChunkerConfig { return v.chunker.Config() }
 
+// UseChunkCache implements ChunkCacheUser. It must be called before the
+// codec is used concurrently.
+func (v *VaryBlock) UseChunkCache(c *ChunkCache) { v.cache = c }
+
 // Cost implements Costed. The dominant server-side term reproduces the
 // paper's observation that Vary-sized blocking "has huge server side
 // computing time, which disqualifies it ... even if it generates the least
-// transfer bytes"; see DESIGN.md ("Calibration").
+// transfer bytes"; see DESIGN.md ("Calibration"). The constants describe
+// the paper's reference stateless encoder and deliberately ignore the
+// chunk-index cache, so protocol selection and every simulated figure are
+// unaffected by runtime cache state.
 func (*VaryBlock) Cost() CostModel {
 	return CostModel{ServerNsPerByte: 18800, ClientNsPerByte: 2097, ServerFixed: 500 * 1000, ClientFixed: 300 * 1000}
+}
+
+// indexOf returns the chunk index of data, through the shared cache when
+// one is attached.
+func (v *VaryBlock) indexOf(data []byte) *ChunkIndex {
+	if v.cache == nil || len(data) == 0 {
+		return buildChunkIndex(v.chunker, data)
+	}
+	return v.cache.getOrBuild(v.conf, data, func() *ChunkIndex {
+		return buildChunkIndex(v.chunker, data)
+	})
 }
 
 // Encode implements Codec. Payload layout:
@@ -67,38 +107,35 @@ func (*VaryBlock) Cost() CostModel {
 //	ops: tag 0 => uvarint oldChunkIndex
 //	     tag 1 => uvarint litLen | litLen bytes
 func (v *VaryBlock) Encode(old, cur []byte) ([]byte, error) {
-	oldChunks := v.chunker.Split(old)
-	index := make(map[[sha1.Size]byte]int, len(oldChunks))
-	for i, c := range oldChunks {
-		sum := sha1.Sum(old[c.Offset : c.Offset+c.Length])
-		if _, dup := index[sum]; !dup { // keep first occurrence
-			index[sum] = i
+	oldIdx := v.indexOf(old)
+	curIdx := v.indexOf(cur)
+	ops := opsBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		// Don't let one giant encode pin its buffer in the pool forever.
+		if ops.Cap() <= 4*maxDecodeReserve {
+			opsBufPool.Put(ops)
 		}
-	}
-	newChunks := v.chunker.Split(cur)
-	var ops bytes.Buffer
+	}()
+	ops.Reset()
 	var tmp [binary.MaxVarintLen64]byte
-	nops := 0
-	for _, c := range newChunks {
-		data := cur[c.Offset : c.Offset+c.Length]
-		sum := sha1.Sum(data)
-		if i, ok := index[sum]; ok && oldChunks[i].Length == c.Length {
+	for i, c := range curIdx.Chunks {
+		if j, ok := oldIdx.Lookup(curIdx.Sums[i]); ok && oldIdx.Chunks[j].Length == c.Length {
 			ops.WriteByte(varyOpRef)
-			ops.Write(tmp[:binary.PutUvarint(tmp[:], uint64(i))])
+			ops.Write(tmp[:binary.PutUvarint(tmp[:], uint64(j))])
 		} else {
+			data := cur[c.Offset : c.Offset+c.Length]
 			ops.WriteByte(varyOpLit)
 			ops.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(data)))])
 			ops.Write(data)
 		}
-		nops++
 	}
-	out := bytes.NewBuffer(nil)
-	out.Write(varyMagic)
-	for _, u := range []uint64{uint64(len(cur)), uint64(len(old)), uint64(nops)} {
-		out.Write(tmp[:binary.PutUvarint(tmp[:], u)])
+	out := make([]byte, 0, len(varyMagic)+3*binary.MaxVarintLen64+ops.Len())
+	out = append(out, varyMagic...)
+	for _, u := range []uint64{uint64(len(cur)), uint64(len(old)), uint64(len(curIdx.Chunks))} {
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], u)]...)
 	}
-	out.Write(ops.Bytes())
-	return out.Bytes(), nil
+	out = append(out, ops.Bytes()...)
+	return out, nil
 }
 
 // Decode implements Codec.
@@ -136,8 +173,20 @@ func (v *VaryBlock) Decode(old, payload []byte) ([]byte, error) {
 	if nops > curLen+1 {
 		return nil, fmt.Errorf("codec: varyblock payload: %d ops for %d bytes is impossible", nops, curLen)
 	}
-	oldChunks := v.chunker.Split(old)
-	out := make([]byte, 0, curLen)
+	// The receiver re-chunks its old version with the same parameters; with
+	// a cache attached the chunk list is reused across the session's
+	// requests against the same held version.
+	var oldChunks []rabin.Chunk
+	if v.cache != nil && len(old) > 0 {
+		oldChunks = v.indexOf(old).Chunks
+	} else {
+		oldChunks = v.chunker.Split(old)
+	}
+	reserve := curLen
+	if reserve > maxDecodeReserve {
+		reserve = maxDecodeReserve
+	}
+	out := make([]byte, 0, reserve)
 	for op := uint64(0); op < nops; op++ {
 		tag, err := r.ReadByte()
 		if err != nil {
@@ -162,11 +211,13 @@ func (v *VaryBlock) Decode(old, payload []byte) ([]byte, error) {
 			if n > uint64(r.Len()) {
 				return nil, fmt.Errorf("codec: varyblock payload: literal of %d bytes exceeds remaining %d", n, r.Len())
 			}
-			lit := make([]byte, n)
-			if _, err := io.ReadFull(r, lit); err != nil {
+			// Read the literal straight into the output's free space — no
+			// per-op staging slice.
+			off := len(out)
+			out = slices.Grow(out, int(n))[:off+int(n)]
+			if _, err := io.ReadFull(r, out[off:]); err != nil {
 				return nil, fmt.Errorf("codec: varyblock payload: truncated literal: %w", err)
 			}
-			out = append(out, lit...)
 		default:
 			return nil, fmt.Errorf("codec: varyblock payload: unknown op tag %d", tag)
 		}

@@ -21,7 +21,18 @@ import (
 //	vary.decode         2 buffers (old, payload) -> cur
 //	rsync.encode        2 buffers (old, cur)     -> payload (param "rsync.block")
 //	rsync.decode        2 buffers (old, payload) -> cur
+//
+// The differencing primitives share one small chunk-index cache per host
+// table (one table per deployed PAD), so a session repeatedly decoding
+// against the same held version re-chunks it once instead of per request.
 func HostTable(params map[string]string) ([]HostFunc, error) {
+	hosts, _, err := HostTableWithCache(params)
+	return hosts, err
+}
+
+// HostTableWithCache is HostTable, also returning the chunk-index cache
+// the table's differencing primitives share (for observability).
+func HostTableWithCache(params map[string]string) ([]HostFunc, *codec.ChunkCache, error) {
 	get := func(key string, def int) (int, error) {
 		v, ok := params[key]
 		if !ok {
@@ -36,51 +47,59 @@ func HostTable(params map[string]string) ([]HostFunc, error) {
 
 	level, err := get("gzip.level", -1)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	gz, err := codec.NewGzipLevel(level)
 	if err != nil {
-		return nil, fmt.Errorf("mobilecode: configuring gzip primitive: %w", err)
+		return nil, nil, fmt.Errorf("mobilecode: configuring gzip primitive: %w", err)
 	}
 
 	block, err := get("bitmap.block", codec.DefaultBlockSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bm, err := codec.NewBitmap(block)
 	if err != nil {
-		return nil, fmt.Errorf("mobilecode: configuring bitmap primitive: %w", err)
+		return nil, nil, fmt.Errorf("mobilecode: configuring bitmap primitive: %w", err)
 	}
 
 	ccfg := rabin.DefaultChunkerConfig()
 	if ccfg.MinSize, err = get("vary.min", ccfg.MinSize); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ccfg.MaxSize, err = get("vary.max", ccfg.MaxSize); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	maskBits, err := get("vary.maskbits", 9)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if maskBits < 1 || maskBits > 30 {
-		return nil, fmt.Errorf("mobilecode: vary.maskbits %d out of range [1,30]", maskBits)
+		return nil, nil, fmt.Errorf("mobilecode: vary.maskbits %d out of range [1,30]", maskBits)
 	}
 	ccfg.Mask = 1<<maskBits - 1
 	ccfg.Magic &= ccfg.Mask
 	vb, err := codec.NewVaryBlockConfig(ccfg)
 	if err != nil {
-		return nil, fmt.Errorf("mobilecode: configuring vary primitive: %w", err)
+		return nil, nil, fmt.Errorf("mobilecode: configuring vary primitive: %w", err)
 	}
 
 	rsBlock, err := get("rsync.block", codec.DefaultBlockSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rs, err := codec.NewRsync(rsBlock)
 	if err != nil {
-		return nil, fmt.Errorf("mobilecode: configuring rsync primitive: %w", err)
+		return nil, nil, fmt.Errorf("mobilecode: configuring rsync primitive: %w", err)
 	}
+
+	// hostChunkCacheEntries is deliberately small: a client host typically
+	// decodes against a handful of held versions, and each index entry is a
+	// few percent of its content's size.
+	const hostChunkCacheEntries = 8
+	cache := codec.NewChunkCache(hostChunkCacheEntries)
+	vb.UseChunkCache(cache)
+	bm.UseChunkCache(cache)
 
 	one := func(f func([]byte) ([]byte, error)) func([][]byte) ([][]byte, error) {
 		return func(args [][]byte) ([][]byte, error) {
@@ -113,5 +132,5 @@ func HostTable(params map[string]string) ([]HostFunc, error) {
 		{Name: "vary.decode", Arity: 2, Fn: two(vb.Decode)},
 		{Name: "rsync.encode", Arity: 2, Fn: two(rs.Encode)},
 		{Name: "rsync.decode", Arity: 2, Fn: two(rs.Decode)},
-	}, nil
+	}, cache, nil
 }

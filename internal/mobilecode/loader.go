@@ -3,6 +3,8 @@ package mobilecode
 import (
 	"errors"
 	"fmt"
+
+	"fractal/internal/codec"
 )
 
 // Loader performs the client-side deployment pipeline of Section 3.5:
@@ -32,6 +34,7 @@ type DeployedPAD struct {
 	vm     *VM
 	enc    Program
 	dec    Program
+	chunks *codec.ChunkCache
 }
 
 // Load verifies and instantiates a packed module.
@@ -58,7 +61,7 @@ func (l *Loader) Load(packed []byte) (*DeployedPAD, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mobilecode: PAD %s decode program: %w", m.ID, err)
 	}
-	hosts, err := HostTable(p.Params)
+	hosts, chunks, err := HostTableWithCache(p.Params)
 	if err != nil {
 		return nil, fmt.Errorf("mobilecode: PAD %s: %w", m.ID, err)
 	}
@@ -66,7 +69,7 @@ func (l *Loader) Load(packed []byte) (*DeployedPAD, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DeployedPAD{module: m, proto: p.Protocol, vm: vm, enc: enc, dec: dec}, nil
+	return &DeployedPAD{module: m, proto: p.Protocol, vm: vm, enc: enc, dec: dec, chunks: chunks}, nil
 }
 
 // ID returns the PAD's module identifier.
@@ -77,6 +80,10 @@ func (d *DeployedPAD) Name() string { return d.proto }
 
 // Module returns the underlying verified module.
 func (d *DeployedPAD) Module() *Module { return d.module }
+
+// ChunkCacheStats reports the PAD's decode-side chunk-index cache counters
+// (all zero for non-differencing protocols, which never touch it).
+func (d *DeployedPAD) ChunkCacheStats() codec.ChunkCacheStats { return d.chunks.Stats() }
 
 // run executes a program with the calling convention shared by both
 // directions: the initial buffer stack is [a, b] (b on top) and the result

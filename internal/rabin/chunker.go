@@ -60,8 +60,8 @@ func (c ChunkerConfig) Validate() error {
 }
 
 // Chunker splits byte buffers into content-defined chunks. It is immutable
-// after construction and safe for concurrent use; each Split call uses its
-// own rolling digest.
+// after construction and safe for concurrent use; Split keeps all rolling
+// state in locals, so concurrent calls share nothing but the tables.
 type Chunker struct {
 	cfg ChunkerConfig
 	tab *Table
@@ -88,15 +88,20 @@ func (c *Chunker) Config() ChunkerConfig { return c.cfg }
 // the property that lets insertions shift data without invalidating all
 // following chunks.
 func (c *Chunker) Split(data []byte) []Chunk {
-	var chunks []Chunk
-	d := c.tab.NewDigest()
+	if len(data) == 0 {
+		return nil
+	}
+	// Expected chunk size is MinSize plus the mask's mean waiting time, so
+	// the one append target is usually sized right on the first try.
+	expected := c.cfg.MinSize + int(c.cfg.Mask)/2 + 1
+	chunks := make([]Chunk, 0, len(data)/expected+1)
 	start := 0
 	for start < len(data) {
 		limit := start + c.cfg.MaxSize
 		if limit > len(data) {
 			limit = len(data)
 		}
-		n, cut := c.findCut(d, data[start:limit])
+		n, cut := c.findCut(data[start:limit])
 		chunks = append(chunks, Chunk{Offset: start, Length: n, Cut: cut})
 		start += n
 	}
@@ -105,15 +110,41 @@ func (c *Chunker) Split(data []byte) []Chunk {
 
 // findCut locates the first content-defined boundary in window (which is
 // already bounded by MaxSize), returning the chunk length and the
-// fingerprint at the cut (0 for forced cuts). The digest is reset first.
-func (c *Chunker) findCut(d *Digest, window []byte) (int, uint64) {
-	d.Reset()
-	for i := range window {
-		fp := d.Roll(window[i])
-		if i+1 < c.cfg.MinSize {
-			continue
-		}
-		if fp&c.cfg.Mask == c.cfg.Magic {
+// fingerprint at the cut (0 for forced cuts).
+//
+// This is the hot inner loop of every differencing request, so it rolls in
+// bulk over the slice rather than through Digest: no boundary may be
+// declared before MinSize, and the fingerprint at any position depends only
+// on the Window bytes ending there, so the first MinSize-Window bytes of
+// the chunk can be skipped outright (the LBFS min-size optimization). The
+// ring buffer disappears too — the expiring byte is just window[i-Window].
+// Fingerprints are bit-identical to rolling every byte through Digest.Roll
+// from a fresh digest, which TestFindCutMatchesDigestRoll locks in.
+func (c *Chunker) findCut(window []byte) (int, uint64) {
+	min := c.cfg.MinSize
+	if len(window) < min {
+		return len(window), 0
+	}
+	t := c.tab
+	deg := t.deg
+	mask, magic := c.cfg.Mask, c.cfg.Magic
+	// Prime the fingerprint with the Window bytes ending at min-1. A fresh
+	// digest's window is all zeros and Table.out[0] == 0, so expiry during
+	// priming is a no-op and plain appends suffice.
+	var fp uint64
+	for _, b := range window[min-c.cfg.Window : min] {
+		fp = fp<<8 | uint64(b)
+		fp ^= t.mod[fp>>deg]
+	}
+	if fp&mask == magic {
+		return min, fp
+	}
+	w := c.cfg.Window
+	for i := min; i < len(window); i++ {
+		fp ^= t.out[window[i-w]]
+		fp = fp<<8 | uint64(window[i])
+		fp ^= t.mod[fp>>deg]
+		if fp&mask == magic {
 			return i + 1, fp
 		}
 	}
@@ -127,7 +158,6 @@ func (c *Chunker) SplitReader(r io.Reader, emit func(Chunk, []byte) error) error
 	if emit == nil {
 		return fmt.Errorf("rabin: SplitReader needs an emit callback")
 	}
-	d := c.tab.NewDigest()
 	buf := make([]byte, 0, 2*c.cfg.MaxSize)
 	offset := 0
 	eof := false
@@ -155,7 +185,7 @@ func (c *Chunker) SplitReader(r io.Reader, emit func(Chunk, []byte) error) error
 		if !eof && len(window) < c.cfg.MaxSize {
 			continue
 		}
-		n, cut := c.findCut(d, window)
+		n, cut := c.findCut(window)
 		if err := emit(Chunk{Offset: offset, Length: n, Cut: cut}, buf[:n]); err != nil {
 			return err
 		}
