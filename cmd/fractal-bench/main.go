@@ -7,9 +7,15 @@
 //	fractal-bench -exp fig9b -clients 1,50,100,200,300
 //	fractal-bench -exp headline -json
 //	fractal-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
+//	fractal-bench -mode negotiate -workers 8 -ops 20000
 //
 // Experiments: table1, fig9a, fig9b, fig10, fig10d, fig11a, fig11b,
 // fig11c, headline, capacity, timeline, premise, session, all.
+//
+// With -mode negotiate the tool skips the paper experiments and drives the
+// proxy negotiation plane directly: a warm-key phase, a cold-key phase, and
+// a loopback INP/TCP session phase, reporting throughput and the proxy's
+// hit/search/collapse counters.
 //
 // With -json the sections are emitted as one JSON document (each TSV row
 // split into fields) instead of the human-readable text, for consumption by
@@ -48,6 +54,9 @@ type jsonSection struct {
 
 func main() {
 	var (
+		mode       = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver")
+		workers    = flag.Int("workers", 8, "concurrent workers for -mode negotiate")
+		ops        = flag.Int("ops", 20000, "negotiations per worker per phase for -mode negotiate")
 		exp        = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
 		clients    = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
 		pages      = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
@@ -58,6 +67,26 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
 	flag.Parse()
+
+	if *mode == "negotiate" {
+		sec, err := runNegotiate(*workers, *ops)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode([]jsonSection{sec.toJSON()}); err != nil {
+				fatal(err)
+			}
+		} else {
+			sec.print()
+		}
+		return
+	}
+	if *mode != "exp" {
+		fatal(fmt.Errorf("unknown mode %q (want exp or negotiate)", *mode))
+	}
 
 	cfg := experiment.DefaultSetupConfig()
 	if *pages > 0 {

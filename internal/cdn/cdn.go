@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fractal/internal/netsim"
+	"fractal/internal/syncx"
 )
 
 // Origin is the authoritative object store behind the edgeservers (the
@@ -62,10 +63,15 @@ func (o *Origin) Paths() []string {
 	return ps
 }
 
-// EdgeStats counts an edgeserver's cache behaviour.
+// EdgeStats counts an edgeserver's cache behaviour. OriginFills counts
+// actual fills executed against the origin; CollapsedFills counts misses
+// that shared another miss's in-flight fill, so under a cold-object
+// stampede OriginFills stays at one per object.
 type EdgeStats struct {
-	Hits   int64
-	Misses int64
+	Hits           int64
+	Misses         int64
+	OriginFills    int64
+	CollapsedFills int64
 }
 
 // Edge is one CDN edgeserver: an LRU cache in a region, filling from the
@@ -85,9 +91,20 @@ type Edge struct {
 
 	origin *Origin
 	cache  *lruCache
-	hits   atomic.Int64
-	misses atomic.Int64
-	failed atomic.Bool
+	// sf collapses concurrent cache misses for the same path into one
+	// origin fill.
+	sf             syncx.Group[fillResult]
+	hits           atomic.Int64
+	misses         atomic.Int64
+	originFills    atomic.Int64
+	collapsedFills atomic.Int64
+	failed         atomic.Bool
+}
+
+// fillResult is the shared outcome of one origin fill.
+type fillResult struct {
+	data []byte
+	fill time.Duration
 }
 
 // EdgeConfig parameterizes one edgeserver.
@@ -146,22 +163,49 @@ func (e *Edge) Fetch(path string) (data []byte, fill time.Duration, miss bool, e
 		return data, 0, false, nil
 	}
 	e.misses.Add(1)
-	data, err = e.origin.Get(path)
+	res, err, joined := e.sf.Do(path, func() (fillResult, error) {
+		// Double-check under leadership: a concurrent miss may have
+		// completed its fill between our miss and this call, so each path
+		// is filled from the origin at most once per residency.
+		if data, ok := e.cache.Get(path); ok {
+			return fillResult{data: data}, nil
+		}
+		return e.fillFromOrigin(path)
+	})
+	if joined {
+		e.collapsedFills.Add(1)
+	}
 	if err != nil {
-		return nil, 0, true, fmt.Errorf("cdn: edge %s: %w", e.ID, err)
+		return nil, 0, true, err
+	}
+	return res.data, res.fill, true, nil
+}
+
+// fillFromOrigin fetches one object from the origin, caches it, and
+// accounts the simulated fill time over the edge-to-origin path.
+func (e *Edge) fillFromOrigin(path string) (fillResult, error) {
+	e.originFills.Add(1)
+	data, err := e.origin.Get(path)
+	if err != nil {
+		return fillResult{}, fmt.Errorf("cdn: edge %s: %w", e.ID, err)
 	}
 	e.cache.Put(path, data)
 	secs := float64(len(data)) * 8.0 / (e.OriginKbps * 1000.0)
 	fillTransfer, err := netsim.Seconds(secs)
 	if err != nil {
-		return nil, 0, true, fmt.Errorf("cdn: edge %s origin fill: %w", e.ID, err)
+		return fillResult{}, fmt.Errorf("cdn: edge %s origin fill: %w", e.ID, err)
 	}
-	return data, e.OriginRTT + fillTransfer, true, nil
+	return fillResult{data: data, fill: e.OriginRTT + fillTransfer}, nil
 }
 
-// Stats returns the edge's hit/miss counters.
+// Stats returns the edge's hit/miss/fill counters.
 func (e *Edge) Stats() EdgeStats {
-	return EdgeStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return EdgeStats{
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		OriginFills:    e.originFills.Load(),
+		CollapsedFills: e.collapsedFills.Load(),
+	}
 }
 
 // CDN is the distribution network: an origin plus edgeservers. It

@@ -9,6 +9,7 @@ package core
 import (
 	"crypto/sha1"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -37,7 +38,22 @@ func (d DevMeta) Validate() error {
 
 // Key returns a canonical cache-key fragment.
 func (d DevMeta) Key() string {
-	return fmt.Sprintf("os=%s|cpu=%s|mhz=%.0f|mem=%d", d.OSType, d.CPUType, d.CPUMHz, d.MemMB)
+	return string(d.appendKey(make([]byte, 0, 64)))
+}
+
+// appendKey appends the canonical fragment ("os=%s|cpu=%s|mhz=%.0f|mem=%d"
+// rendered without fmt) so CacheKey.String builds the whole key in one
+// buffer. strconv.AppendFloat with 'f'/0 matches %.0f exactly.
+func (d DevMeta) appendKey(b []byte) []byte {
+	b = append(b, "os="...)
+	b = append(b, d.OSType...)
+	b = append(b, "|cpu="...)
+	b = append(b, d.CPUType...)
+	b = append(b, "|mhz="...)
+	b = strconv.AppendFloat(b, d.CPUMHz, 'f', 0, 64)
+	b = append(b, "|mem="...)
+	b = strconv.AppendInt(b, int64(d.MemMB), 10)
+	return b
 }
 
 // NtwkMeta is the network metadata a client reports:
@@ -60,7 +76,17 @@ func (n NtwkMeta) Validate() error {
 
 // Key returns a canonical cache-key fragment.
 func (n NtwkMeta) Key() string {
-	return fmt.Sprintf("net=%s|bw=%.0f", n.NetworkType, n.BandwidthKbps)
+	return string(n.appendKey(make([]byte, 0, 32)))
+}
+
+// appendKey appends the canonical fragment ("net=%s|bw=%.0f" rendered
+// without fmt).
+func (n NtwkMeta) appendKey(b []byte) []byte {
+	b = append(b, "net="...)
+	b = append(b, n.NetworkType...)
+	b = append(b, "|bw="...)
+	b = strconv.AppendFloat(b, n.BandwidthKbps, 'f', 0, 64)
+	return b
 }
 
 // Env is one client environment: the pair the negotiation manager adapts

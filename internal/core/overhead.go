@@ -88,7 +88,14 @@ func (m OverheadModel) PADTotal(p PADMeta, env Env) (Breakdown, error) {
 	if err := p.Validate(); err != nil {
 		return Breakdown{}, err
 	}
+	return m.padTotal(p, env), nil
+}
 
+// padTotal is PADTotal without the input validation, for the compiled
+// search path where the model, environment, and every resolved PADMeta
+// were validated up front (FindPathFiltered validates the model and
+// environment per call; BuildPAT/AddPAD validate the metadata).
+func (m OverheadModel) padTotal(p PADMeta, env Env) Breakdown {
 	effBps := m.Rho * env.Ntwk.BandwidthKbps * 1000.0
 	var b Breakdown
 
@@ -114,5 +121,5 @@ func (m OverheadModel) PADTotal(p PADMeta, env Env) (Breakdown, error) {
 		b.Traffic = gamma * float64(p.Overhead.TrafficBytes+p.Overhead.UpstreamBytes) * 8.0 / effBps
 	}
 
-	return b, nil
+	return b
 }

@@ -16,6 +16,10 @@ type PAT struct {
 	nodes map[string]*patNode
 	// roots are the top-level PADs in insertion order.
 	roots []string
+	// index is the compiled search index (see searchindex.go), rebuilt by
+	// BuildPAT and AddPAD. Mutating a PAT concurrently with searches has
+	// never been supported; the index follows the same contract.
+	index *searchIndex
 }
 
 type patNode struct {
@@ -84,6 +88,9 @@ func BuildPAT(app AppMeta) (*PAT, error) {
 		return nil, fmt.Errorf("core: PAT %s has no top-level PADs", app.AppID)
 	}
 	if err := t.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	if err := t.compile(); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -232,5 +239,5 @@ func (t *PAT) AddPAD(p PADMeta) error {
 	if p.Parent == "" {
 		t.roots = append(t.roots, p.ID)
 	}
-	return nil
+	return t.compile()
 }

@@ -32,6 +32,10 @@ func FindPath(t *PAT, m OverheadModel, env Env) (PathResult, error) {
 // which allow returns false are marked infeasible before the search, the
 // hook used by the proxy's access-control extension. A nil filter allows
 // everything.
+//
+// The search runs over the PAT's compiled index (see searchindex.go) and
+// returns results identical — node order, tie-breaking, totals, breakdowns
+// — to the reference algorithm below.
 func FindPathFiltered(t *PAT, m OverheadModel, env Env, allow func(PADMeta) bool) (PathResult, error) {
 	if t == nil {
 		return PathResult{}, fmt.Errorf("core: FindPath on nil PAT")
@@ -42,7 +46,75 @@ func FindPathFiltered(t *PAT, m OverheadModel, env Env, allow func(PADMeta) bool
 	if err := env.Validate(); err != nil {
 		return PathResult{}, err
 	}
+	idx := t.index
+	if idx == nil {
+		// A PAT that never compiled (not produced by BuildPAT) still
+		// searches correctly through the reference algorithm.
+		return findPathReference(t, m, env, allow)
+	}
 
+	// Step 1: mark each node slot with its total overhead, into a pooled
+	// slice instead of a fresh map. Symbolic links were resolved at
+	// compile time.
+	mp := marksPool.Get().(*[]Breakdown)
+	marks := *mp
+	if cap(marks) < len(idx.ids) {
+		marks = make([]Breakdown, len(idx.ids))
+	} else {
+		marks = marks[:len(idx.ids)]
+	}
+	defer func() {
+		*mp = marks[:0]
+		marksPool.Put(mp)
+	}()
+	for i := range idx.ids {
+		if allow != nil && !allow(idx.metas[i]) {
+			marks[i] = Breakdown{ClientComp: math.Inf(1)}
+			continue
+		}
+		marks[i] = m.padTotal(idx.metas[i], env)
+	}
+
+	// Step 2: scan the flattened root-to-leaf paths keeping the least
+	// total; strict < preserves the reference tie-breaking (first path in
+	// Paths() order wins).
+	bestTotal := math.Inf(1)
+	bestPath := -1
+	for pi, path := range idx.paths {
+		total := 0.0
+		for _, s := range path {
+			total += marks[s].Total()
+		}
+		if total < bestTotal {
+			bestTotal = total
+			bestPath = pi
+		}
+	}
+	if math.IsInf(bestTotal, 1) {
+		return PathResult{}, fmt.Errorf("%w for app %s in env {%s %s}", ErrNoFeasiblePath, t.AppID(), env.Dev.Key(), env.Ntwk.Key())
+	}
+
+	path := idx.paths[bestPath]
+	best := PathResult{
+		PADs:      make([]PADMeta, 0, len(path)),
+		NodeIDs:   make([]string, len(path)),
+		Total:     bestTotal,
+		Breakdown: make(map[string]Breakdown, len(path)),
+	}
+	for j, s := range path {
+		id := idx.ids[s]
+		best.NodeIDs[j] = id
+		best.PADs = append(best.PADs, idx.metas[s])
+		best.Breakdown[id] = marks[s]
+	}
+	return best, nil
+}
+
+// findPathReference is the original map-and-walk implementation of the
+// adaptation path search. It is kept verbatim as the behavioural pin for
+// the compiled index (the differential test drives both over the full
+// case-study sweep) and as the fallback for a PAT without an index.
+func findPathReference(t *PAT, m OverheadModel, env Env, allow func(PADMeta) bool) (PathResult, error) {
 	// Step 1: mark each node with its total overhead (resolving symbolic
 	// links so an alias inherits its target's cost).
 	marks := map[string]Breakdown{}

@@ -6,10 +6,12 @@
 package inp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"fractal/internal/core"
 )
@@ -79,29 +81,58 @@ type Header struct {
 	Seq     uint32
 }
 
-// WriteMessage frames and writes one message.
+// frameBuffer is a pooled encode buffer with a JSON encoder bound to it,
+// so a frame is assembled (header + body) and written in one Write with no
+// per-message allocations on the steady state.
+type frameBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledFrame caps how large a buffer the pool retains; oversized
+// frames (PAD module downloads) are returned to the allocator instead of
+// pinning their capacity forever.
+const maxPooledFrame = 64 << 10
+
+var framePool = sync.Pool{New: func() interface{} {
+	f := &frameBuffer{}
+	f.enc = json.NewEncoder(&f.buf)
+	return f
+}}
+
+var zeroHeader [headerLen]byte
+
+// WriteMessage frames and writes one message as a single Write call.
 func WriteMessage(w io.Writer, h Header, body interface{}) error {
 	if h.Type == MsgInvalid || h.Type >= msgMax {
 		return fmt.Errorf("inp: cannot write message of type %v", h.Type)
 	}
-	raw, err := json.Marshal(body)
-	if err != nil {
+	f := framePool.Get().(*frameBuffer)
+	defer func() {
+		if f.buf.Cap() <= maxPooledFrame {
+			framePool.Put(f)
+		}
+	}()
+	f.buf.Reset()
+	f.buf.Write(zeroHeader[:]) // reserve the header slot
+	// Encoder.Encode emits exactly json.Marshal's bytes plus one newline,
+	// so the frames stay byte-identical to the unpooled encoding.
+	if err := f.enc.Encode(body); err != nil {
 		return fmt.Errorf("inp: encoding %v body: %w", h.Type, err)
 	}
+	frame := f.buf.Bytes()
+	frame = frame[:len(frame)-1] // drop the encoder's trailing newline
+	raw := frame[headerLen:]
 	if len(raw) > MaxBody {
 		return fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, len(raw))
 	}
-	var hdr [headerLen]byte
-	copy(hdr[0:4], magic[:])
-	hdr[4] = h.Version
-	hdr[5] = uint8(h.Type)
-	binary.BigEndian.PutUint32(hdr[8:12], h.Seq)
-	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(raw)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("inp: writing %v header: %w", h.Type, err)
-	}
-	if _, err := w.Write(raw); err != nil {
-		return fmt.Errorf("inp: writing %v body: %w", h.Type, err)
+	copy(frame[0:4], magic[:])
+	frame[4] = h.Version
+	frame[5] = uint8(h.Type)
+	binary.BigEndian.PutUint32(frame[8:12], h.Seq)
+	binary.BigEndian.PutUint32(frame[12:16], uint32(len(raw)))
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("inp: writing %v frame: %w", h.Type, err)
 	}
 	return nil
 }

@@ -92,17 +92,44 @@ func (p *Proxy) authorizer() Authorizer {
 
 // NegotiateFor is Negotiate with an authenticated principal: the
 // adaptation cache is partitioned per principal and the path search only
-// considers PADs the policy allows.
+// considers PADs the policy allows. Concurrent misses for the same cache
+// key collapse into one search: one caller becomes the leader and runs the
+// search, the rest block on its result and are counted as
+// CollapsedSearches.
 func (p *Proxy) NegotiateFor(principal, appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
 	if err := env.Validate(); err != nil {
 		return nil, fmt.Errorf("proxy: client metadata: %w", err)
 	}
 	p.negotiations.Add(1)
-	key := core.CacheKey{AppID: appID, Principal: principal, Dev: env.Dev, Ntwk: env.Ntwk}
-	if pads, ok := p.cache.Get(key); ok {
+	key := core.CacheKey{AppID: appID, Principal: principal, Dev: env.Dev, Ntwk: env.Ntwk}.String()
+	if pads, ok := p.cache.GetKeyed(key); ok {
 		p.cacheHits.Add(1)
 		return pads, nil
 	}
+	pads, err, joined := p.sf.Do(key, func() ([]core.PADMeta, error) {
+		// Double-check under leadership: a previous leader may have filled
+		// the cache between our miss and this call, so each unique key runs
+		// at most one search no matter how callers interleave.
+		if pads, ok := p.cache.GetKeyed(key); ok {
+			p.cacheHits.Add(1)
+			return pads, nil
+		}
+		return p.searchAndFill(key, principal, appID, env, sessionRequests)
+	})
+	if joined {
+		p.collapsedSearches.Add(1)
+		if err == nil {
+			// Followers share the leader's slice; hand each caller its own
+			// copy, matching the cache's defensive-copy contract.
+			pads = append([]core.PADMeta(nil), pads...)
+		}
+	}
+	return pads, err
+}
+
+// searchAndFill runs the authorized path search for a cache miss and
+// stores the prepared result under the canonical key.
+func (p *Proxy) searchAndFill(key, principal, appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
 	authz := p.authorizer()
 	var filter func(core.PADMeta) bool
 	if authz != nil {
@@ -110,6 +137,7 @@ func (p *Proxy) NegotiateFor(principal, appID string, env core.Env, sessionReque
 			return authz.Allow(principal, appID, meta)
 		}
 	}
+	p.searches.Add(1)
 	//fractal:allow simtime — wall-clock metric on the real serving path
 	start := time.Now()
 	res, err := p.nm.negotiateFiltered(appID, env, sessionRequests, filter)
@@ -118,7 +146,7 @@ func (p *Proxy) NegotiateFor(principal, appID string, env core.Env, sessionReque
 		return nil, err
 	}
 	pads := prepareForClient(res.PADs)
-	p.cache.Put(key, pads)
+	p.cache.PutKeyed(key, pads)
 	return pads, nil
 }
 

@@ -1,0 +1,142 @@
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"fractal/internal/core"
+	"fractal/internal/inp"
+)
+
+// BenchmarkNegotiateHot measures the cache-hit fast path: one key, warmed
+// once, then hit repeatedly.
+func BenchmarkNegotiateHot(b *testing.B) {
+	p := newTestProxy(b)
+	env := desktopEnv()
+	if _, err := p.Negotiate("webapp", env, 75); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Negotiate("webapp", env, 75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNegotiateCold measures the miss path end to end — key build,
+// cache probe, singleflight, compiled path search, cache fill — by giving
+// every iteration a distinct environment.
+func BenchmarkNegotiateCold(b *testing.B) {
+	p := newTestProxy(b)
+	env := desktopEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Dev.CPUMHz = float64(1000 + i)
+		if _, err := p.Negotiate("webapp", env, 75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNegotiateParallel measures negotiation throughput across
+// GOMAXPROCS goroutines over a sharded cache: a realistic mix of a few
+// hundred distinct client configurations, mostly hits after warmup.
+func BenchmarkNegotiateParallel(b *testing.B) {
+	p, err := New(testModel(b), 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.PushAppMeta(testApp()); err != nil {
+		b.Fatal(err)
+	}
+	const distinctEnvs = 512
+	for i := 0; i < distinctEnvs; i++ {
+		env := desktopEnv()
+		env.Dev.CPUMHz = float64(1000 + i)
+		if _, err := p.Negotiate("webapp", env, 75); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		env := desktopEnv()
+		for pb.Next() {
+			env.Dev.CPUMHz = float64(1000 + ctr.Add(1)%distinctEnvs)
+			if _, err := p.Negotiate("webapp", env, 75); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchNegotiation is runNegotiation without the *testing.T plumbing, for
+// benchmarks.
+func benchNegotiation(addr string, env core.Env) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c := inp.NewConn(conn)
+	var initRep inp.InitRep
+	if err := c.Call(inp.MsgInitReq, inp.InitReq{AppID: "webapp", Resource: "page-000"}, inp.MsgInitRep, &initRep); err != nil {
+		return err
+	}
+	if !initRep.OK {
+		return fmt.Errorf("INIT refused: %s", initRep.Reason)
+	}
+	var tmpl inp.CliMetaReq
+	if err := c.RecvInto(inp.MsgCliMetaReq, &tmpl); err != nil {
+		return err
+	}
+	var padRep inp.PADMetaRep
+	return c.Call(inp.MsgCliMetaRep, inp.CliMetaRep{Dev: env.Dev, Ntwk: env.Ntwk, SessionRequests: 75}, inp.MsgPADMetaRep, &padRep)
+}
+
+// BenchmarkServerThroughput measures full negotiation sessions over
+// loopback INP/TCP — connect, Figure 4 exchange, close — with parallel
+// clients, exercising the accept loop, pooled framing, and the negotiation
+// plane together.
+func BenchmarkServerThroughput(b *testing.B) {
+	p := newTestProxy(b)
+	srv, err := NewServer(p, 64, func(string, ...interface{}) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+	env := desktopEnv()
+	if err := benchNegotiation(addr, env); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := benchNegotiation(addr, env); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		b.Fatal(err)
+	}
+}

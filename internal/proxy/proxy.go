@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"fractal/internal/core"
+	"fractal/internal/syncx"
 )
 
 // NegotiationManager maps client metadata to the PADs the client needs.
@@ -76,11 +77,19 @@ func (nm *NegotiationManager) Negotiate(appID string, env core.Env, sessionReque
 	return res, nil
 }
 
-// Stats are the proxy's negotiation counters.
+// Stats are the proxy's negotiation counters. On every successful
+// negotiation exactly one of CacheHits, Searches, or CollapsedSearches is
+// incremented, so Negotiations = CacheHits + Searches + CollapsedSearches
+// when all negotiations succeed.
 type Stats struct {
 	Negotiations   int64
 	CacheHits      int64
 	TopologyPushes int64
+	// Searches counts path searches actually executed on cache misses.
+	Searches int64
+	// CollapsedSearches counts negotiations that joined another caller's
+	// in-flight search for the same cache key instead of running their own.
+	CollapsedSearches int64
 	// TotalSearchNanos accumulates time spent in cache-miss searches.
 	TotalSearchNanos int64
 }
@@ -92,14 +101,19 @@ type Stats struct {
 type Proxy struct {
 	nm    *NegotiationManager
 	cache *core.AdaptationCache
+	// sf collapses concurrent cache-miss negotiations for the same cache
+	// key into one path search (the negotiation-plane singleflight).
+	sf syncx.Group[[]core.PADMeta]
 
 	authzMu sync.RWMutex
 	authz   Authorizer
 
-	negotiations   atomic.Int64
-	cacheHits      atomic.Int64
-	topologyPushes atomic.Int64
-	searchNanos    atomic.Int64
+	negotiations      atomic.Int64
+	cacheHits         atomic.Int64
+	topologyPushes    atomic.Int64
+	searches          atomic.Int64
+	collapsedSearches atomic.Int64
+	searchNanos       atomic.Int64
 }
 
 // New builds a proxy with the given overhead model and adaptation-cache
@@ -153,10 +167,12 @@ func prepareForClient(pads []core.PADMeta) []core.PADMeta {
 // Stats returns a snapshot of the proxy counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Negotiations:     p.negotiations.Load(),
-		CacheHits:        p.cacheHits.Load(),
-		TopologyPushes:   p.topologyPushes.Load(),
-		TotalSearchNanos: p.searchNanos.Load(),
+		Negotiations:      p.negotiations.Load(),
+		CacheHits:         p.cacheHits.Load(),
+		TopologyPushes:    p.topologyPushes.Load(),
+		Searches:          p.searches.Load(),
+		CollapsedSearches: p.collapsedSearches.Load(),
+		TotalSearchNanos:  p.searchNanos.Load(),
 	}
 }
 

@@ -28,7 +28,11 @@ type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
-	wg     sync.WaitGroup
+	// done is closed by Close so an accept loop blocked on the concurrency
+	// semaphore abandons its pending connection instead of serving it after
+	// shutdown began.
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // SetIdleTimeout bounds the gap between messages on each session; it must
@@ -55,7 +59,7 @@ func NewServer(p *Proxy, maxConcurrent int, logf func(string, ...interface{})) (
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Server{proxy: p, sem: make(chan struct{}, maxConcurrent), logf: logf}, nil
+	return &Server{proxy: p, sem: make(chan struct{}, maxConcurrent), logf: logf, done: make(chan struct{})}, nil
 }
 
 // Serve accepts connections from l until Close. It returns nil after a
@@ -80,7 +84,15 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("proxy: accept: %w", err)
 		}
-		s.sem <- struct{}{}
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.done:
+			// Close ran while we waited for a concurrency slot: drop the
+			// pending connection rather than serving it after shutdown.
+			conn.Close()
+			s.wg.Wait()
+			return nil
+		}
 		s.wg.Add(1)
 		go func() {
 			defer func() {
@@ -95,16 +107,23 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight sessions.
+// Close stops accepting and does not return until every in-flight session
+// has drained. It is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	ln := s.ln
 	s.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
+	var err error
+	if !alreadyClosed {
+		close(s.done)
+		if ln != nil {
+			err = ln.Close()
+		}
 	}
-	return nil
+	s.wg.Wait()
+	return err
 }
 
 // ServeConn runs one session over an established connection: either a
