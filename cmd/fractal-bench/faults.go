@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fractal/internal/experiment"
+)
+
+// runFaultsMode builds a small deterministic platform and runs the fault
+// scenario suite against it over real TCP. The pages/seed/edges overrides
+// mirror -mode exp; a zero seed uses the default workload seed for both
+// the platform and the fault schedules.
+func runFaultsMode(pages int, seed int64, edges int) (section, error) {
+	cfg := experiment.DefaultSetupConfig()
+	// The fault suite exercises transports, not corpus scaling: a small
+	// corpus keeps setup fast without changing any scenario outcome.
+	cfg.Pages = 8
+	cfg.SamplePages = 4
+	cfg.Edges = 3
+	if pages > 0 {
+		cfg.Pages = pages
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if edges > 0 {
+		cfg.Edges = edges
+	}
+	fmt.Fprintf(os.Stderr, "fractal-bench: building fault platform (%d pages, %d edges, seed %d)...\n",
+		cfg.Pages, cfg.Edges, cfg.Seed)
+	s, err := experiment.NewSetup(cfg)
+	if err != nil {
+		return section{}, err
+	}
+	r, err := experiment.RunFaults(s, cfg.Seed)
+	if err != nil {
+		return section{}, err
+	}
+	sec := section{
+		ID:    "faults",
+		Title: fmt.Sprintf("Fault-injection scenarios (real TCP, schedule seed %d)", r.Seed),
+		Rows:  r.Rows(),
+	}
+	return sec, nil
+}

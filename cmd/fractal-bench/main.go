@@ -17,6 +17,12 @@
 // a loopback INP/TCP session phase, reporting throughput and the proxy's
 // hit/search/collapse counters.
 //
+// With -mode faults the tool runs the deterministic fault-injection
+// scenarios over real TCP: scripted refusals, stalls, corruption,
+// truncation, and outages, reporting each scenario's contract outcome
+// (completed, failed-fast, or degraded) and fault census. -seed selects
+// the fault schedule; the same seed reproduces identical rows.
+//
 // With -json the sections are emitted as one JSON document (each TSV row
 // split into fields) instead of the human-readable text, for consumption by
 // plotting or regression-tracking scripts. -cpuprofile and -memprofile
@@ -54,7 +60,7 @@ type jsonSection struct {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver")
+		mode       = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver; faults = deterministic fault-injection scenarios")
 		workers    = flag.Int("workers", 8, "concurrent workers for -mode negotiate")
 		ops        = flag.Int("ops", 20000, "negotiations per worker per phase for -mode negotiate")
 		exp        = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
@@ -84,8 +90,24 @@ func main() {
 		}
 		return
 	}
+	if *mode == "faults" {
+		sec, err := runFaultsMode(*pages, *seed, *edges)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode([]jsonSection{sec.toJSON()}); err != nil {
+				fatal(err)
+			}
+		} else {
+			sec.print()
+		}
+		return
+	}
 	if *mode != "exp" {
-		fatal(fmt.Errorf("unknown mode %q (want exp or negotiate)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want exp, negotiate, or faults)", *mode))
 	}
 
 	cfg := experiment.DefaultSetupConfig()

@@ -13,6 +13,9 @@ import (
 // (cdn, appserver, proxy) are in scope so that their genuine real-I/O
 // sites (socket read deadlines, serving-path metrics) carry checked
 // //fractal:allow simtime annotations instead of silently drifting.
+// faultnet is in scope because its injection decisions must never depend
+// on the wall clock: only a stall blocks, and only until the victim's own
+// deadline fires (time.Until/NewTimer are not in the forbidden set).
 var simtimeScope = map[string]bool{
 	"fractal/internal/netsim":     true,
 	"fractal/internal/experiment": true,
@@ -20,6 +23,7 @@ var simtimeScope = map[string]bool{
 	"fractal/internal/cdn":        true,
 	"fractal/internal/appserver":  true,
 	"fractal/internal/proxy":      true,
+	"fractal/internal/faultnet":   true,
 }
 
 // simtimeForbidden are the time package functions that read or block on

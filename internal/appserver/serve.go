@@ -96,15 +96,20 @@ func (s *INPServer) Close() error {
 	return nil
 }
 
+// pushTimeout bounds the AppMeta push: the dial and each read/write of
+// the exchange. A dead or stalled proxy costs one timeout, not a hang.
+const pushTimeout = 30 * time.Second
+
 // PushAppMetaTCP pushes an application topology to a remote adaptation
 // proxy over INP.
 func PushAppMetaTCP(proxyAddr string, app core.AppMeta) error {
-	conn, err := net.Dial("tcp", proxyAddr)
+	conn, err := net.DialTimeout("tcp", proxyAddr, pushTimeout)
 	if err != nil {
 		return fmt.Errorf("appserver: dialing proxy %s: %w", proxyAddr, err)
 	}
 	defer conn.Close()
 	c := inp.NewConn(conn)
+	c.SetTimeout(pushTimeout)
 	var ack inp.AppMetaAck
 	if err := c.Call(inp.MsgAppMetaPush, inp.AppMetaPush{App: app}, inp.MsgAppMetaAck, &ack); err != nil {
 		return fmt.Errorf("appserver: pushing AppMeta: %w", err)
@@ -122,6 +127,10 @@ func (s *INPServer) ServeConn(rw net.Conn) error {
 		if s.idle > 0 {
 			//fractal:allow simtime — real socket read deadline, not simulated time
 			_ = rw.SetReadDeadline(time.Now().Add(s.idle))
+			// A session that stops reading our replies is as dead as one
+			// that stops sending requests.
+			//fractal:allow simtime — real socket write deadline, not simulated time
+			_ = rw.SetWriteDeadline(time.Now().Add(s.idle))
 		}
 		var req inp.AppReq
 		if err := c.RecvInto(inp.MsgAppReq, &req); err != nil {

@@ -14,6 +14,7 @@ import (
 	"fractal/internal/core"
 	"fractal/internal/inp"
 	"fractal/internal/mobilecode"
+	"fractal/internal/syncx"
 )
 
 // Negotiator reaches an adaptation proxy. *proxy.Proxy satisfies this for
@@ -40,6 +41,12 @@ type Config struct {
 	SessionRequests int
 	Trust           *mobilecode.TrustList
 	Sandbox         mobilecode.Sandbox
+	// FallbackDirect, when set, is a packed Direct-protocol PAD module the
+	// client holds locally (shipped with the host). If negotiation or PAD
+	// deployment ultimately fails, the client degrades to this module —
+	// after the same security checks as any downloaded PAD — instead of
+	// failing the session. Nil disables degradation.
+	FallbackDirect []byte
 }
 
 // Validate reports whether the configuration is usable.
@@ -66,6 +73,16 @@ type Stats struct {
 	PayloadBytes       int64
 	ContentBytes       int64
 	SecurityRejections int64
+	// CollapsedNegotiations counts EnsureProtocol callers that joined an
+	// in-flight negotiation for the same application instead of opening a
+	// duplicate one (cold-start stampede collapse).
+	CollapsedNegotiations int64
+	// Degradations counts sessions that fell back to the local Direct
+	// module after the adaptation plane failed.
+	Degradations int64
+	// StaleVersionDrops counts replies whose version did not advance the
+	// held one and were therefore not committed to the content cache.
+	StaleVersionDrops int64
 }
 
 // contentEntry is the cached newest version of a resource.
@@ -84,6 +101,11 @@ type Client struct {
 	pads    PADFetcher
 	content ContentFetcher
 	loader  *mobilecode.Loader
+
+	// negFlight collapses concurrent cold-start negotiations per appID:
+	// one leader negotiates and deploys, stampeding callers share its
+	// result instead of opening duplicate proxy exchanges.
+	negFlight syncx.Group[[]core.PADMeta]
 
 	mu sync.Mutex
 	// protocolCache is the paper's client-side protocol cache: PADMeta
@@ -140,23 +162,77 @@ func (c *Client) EnsureProtocol(appID string) ([]core.PADMeta, error) {
 		}
 	}
 
+	// Cold start: collapse concurrent negotiations for the same app into
+	// one proxy exchange. The leader runs the full negotiate → download →
+	// deploy → cache pipeline (degrading if it fails); joined callers
+	// share its outcome.
+	pads, err, joined := c.negFlight.Do(appID, func() ([]core.PADMeta, error) {
+		return c.negotiateAndDeploy(appID)
+	})
+	if joined {
+		c.mu.Lock()
+		c.stats.CollapsedNegotiations++
+		c.mu.Unlock()
+	}
+	return pads, err
+}
+
+// negotiateAndDeploy is the cold-start pipeline run by a singleflight
+// leader: negotiate with the proxy, deploy every returned PAD, and cache
+// the result. If any step ultimately fails (after whatever retries the
+// configured Negotiator and PADFetcher perform) it degrades to the local
+// Direct fallback module rather than failing the session outright.
+func (c *Client) negotiateAndDeploy(appID string) ([]core.PADMeta, error) {
 	pads, err := c.neg.Negotiate(appID, c.cfg.Env, c.cfg.SessionRequests)
 	if err != nil {
-		return nil, fmt.Errorf("client: negotiation: %w", err)
+		return c.degrade(appID, fmt.Errorf("client: negotiation: %w", err))
 	}
 	c.mu.Lock()
 	c.stats.Negotiations++
 	c.mu.Unlock()
 	if len(pads) == 0 {
-		return nil, fmt.Errorf("client: proxy returned no PADs for %s", appID)
+		return c.degrade(appID, fmt.Errorf("client: proxy returned no PADs for %s", appID))
 	}
 	for _, meta := range pads {
 		if err := c.deployPAD(meta); err != nil {
-			return nil, err
+			return c.degrade(appID, err)
 		}
 	}
 	c.mu.Lock()
 	c.protocolCache[appID] = pads
+	c.mu.Unlock()
+	return pads, nil
+}
+
+// degrade falls back to the locally shipped Direct module after the
+// adaptation plane failed with cause. The fallback passes the same
+// security checks (signature + sandbox limits) as a downloaded PAD; if it
+// cannot be deployed, or no fallback is configured, cause is surfaced.
+func (c *Client) degrade(appID string, cause error) ([]core.PADMeta, error) {
+	if len(c.cfg.FallbackDirect) == 0 {
+		return nil, cause
+	}
+	pad, err := c.loader.Load(c.cfg.FallbackDirect)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.SecurityRejections++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (and fallback module failed security checks: %v)", cause, err)
+	}
+	meta := core.PADMeta{
+		ID:       pad.ID(),
+		Version:  pad.Module().Version,
+		Protocol: pad.Name(),
+		Size:     pad.Module().Size(),
+		Digest:   pad.Module().Digest,
+	}
+	pads := []core.PADMeta{meta}
+	c.mu.Lock()
+	if _, live := c.deployed[meta.ID]; !live {
+		c.deployed[meta.ID] = pad
+	}
+	c.protocolCache[appID] = pads
+	c.stats.Degradations++
 	c.mu.Unlock()
 	return pads, nil
 }
@@ -233,7 +309,16 @@ func (c *Client) Request(appID, resource string) ([]byte, error) {
 		return nil, fmt.Errorf("client: decoding %s via %s: %w", resource, rep.PADID, err)
 	}
 	c.mu.Lock()
-	c.versions[resource] = contentEntry{version: rep.Version, data: data}
+	// Only commit when the reply advances the held version: a concurrent
+	// request may have already cached a newer version, and overwriting it
+	// with this (older) one would silently regress the cache — later
+	// differential requests would then claim a base version the client no
+	// longer holds the newest data for.
+	if cur := c.versions[resource]; rep.Version > cur.version {
+		c.versions[resource] = contentEntry{version: rep.Version, data: data}
+	} else {
+		c.stats.StaleVersionDrops++
+	}
 	c.stats.Requests++
 	c.stats.PayloadBytes += int64(len(rep.Payload))
 	c.stats.ContentBytes += int64(len(data))

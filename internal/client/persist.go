@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"fractal/internal/core"
 )
@@ -24,7 +25,10 @@ func envKey(env core.Env) string {
 
 // SaveProtocolCache writes the protocol cache to path so a later session
 // on the same device can skip negotiation entirely (though it still
-// re-downloads PAD modules, which are not persisted).
+// re-downloads PAD modules, which are not persisted). The write is
+// crash-safe: the cache lands in a temp file in the same directory and is
+// atomically renamed over path, so a crash mid-save leaves either the old
+// complete cache or the new complete cache — never a truncated file.
 func (c *Client) SaveProtocolCache(path string) error {
 	c.mu.Lock()
 	out := persistedCache{
@@ -39,8 +43,28 @@ func (c *Client) SaveProtocolCache(path string) error {
 	if err != nil {
 		return fmt.Errorf("client: encoding protocol cache: %w", err)
 	}
-	if err := os.WriteFile(path, raw, 0o600); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("client: writing protocol cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: writing protocol cache: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: writing protocol cache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: syncing protocol cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("client: writing protocol cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("client: committing protocol cache: %w", err)
 	}
 	return nil
 }
@@ -48,7 +72,10 @@ func (c *Client) SaveProtocolCache(path string) error {
 // LoadProtocolCache restores a saved protocol cache. Entries recorded
 // under a different environment than the client's current one are
 // discarded (the negotiation result is environment-specific). It returns
-// the number of applications restored.
+// the number of applications restored. A cache that does not parse —
+// e.g. truncated by a crash predating the atomic-rename save — is
+// treated as absent (0 restored, no error): the protocol cache is an
+// optimization, and the client simply renegotiates.
 func (c *Client) LoadProtocolCache(path string) (int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -56,7 +83,7 @@ func (c *Client) LoadProtocolCache(path string) (int, error) {
 	}
 	var in persistedCache
 	if err := json.Unmarshal(raw, &in); err != nil {
-		return 0, fmt.Errorf("client: protocol cache corrupt: %w", err)
+		return 0, nil // corrupt/truncated: fall back to negotiation
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

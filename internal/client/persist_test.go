@@ -113,12 +113,85 @@ func TestLoadProtocolCacheErrors(t *testing.T) {
 	if _, err := c.LoadProtocolCache(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Error("missing cache file accepted")
 	}
+	// A cache that does not parse (e.g. truncated by a crash) is treated
+	// as absent, not fatal: the client restores nothing and renegotiates.
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.LoadProtocolCache(bad); err == nil {
-		t.Error("corrupt cache accepted")
+	n, err := c.LoadProtocolCache(bad)
+	if err != nil {
+		t.Errorf("corrupt cache errored: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("corrupt cache restored %d apps, want 0", n)
+	}
+}
+
+// TestSaveProtocolCacheCrashSafety is the regression test for the
+// non-atomic save: a truncated cache (the observable crash artifact of
+// the old in-place WriteFile) must not poison a later session, and a
+// successful save must be all-or-nothing via temp-file + rename.
+func TestSaveProtocolCacheCrashSafety(t *testing.T) {
+	w := buildWorld(t)
+	path := filepath.Join(t.TempDir(), "protocols.json")
+
+	first, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.EnsureProtocol("webapp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.SaveProtocolCache(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No temp residue next to the committed cache.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save left %d files in cache dir, want 1", len(entries))
+	}
+
+	// Simulate a crash mid-write under the OLD scheme: the file holds a
+	// prefix of the JSON. A fresh client must shrug it off and negotiate.
+	if err := os.WriteFile(path, good[:len(good)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	second, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := second.LoadProtocolCache(path)
+	if err != nil {
+		t.Fatalf("truncated cache errored: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("truncated cache restored %d apps, want 0", n)
+	}
+	if _, err := second.Request("webapp", "page-000"); err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats().Negotiations != 1 {
+		t.Fatalf("negotiations = %d, want 1 after discarding truncated cache", second.Stats().Negotiations)
+	}
+
+	// Re-saving over the truncated file restores a complete cache.
+	if err := second.SaveProtocolCache(path); err != nil {
+		t.Fatal(err)
+	}
+	third, err := New(pdaConfig(w.trust), w.proxy, w.fetcher("region-0", netsim.Bluetooth), w.local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := third.LoadProtocolCache(path); err != nil || n != 1 {
+		t.Fatalf("re-saved cache restored (%d, %v), want (1, nil)", n, err)
 	}
 }
 

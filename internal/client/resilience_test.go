@@ -1,0 +1,471 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fractal/internal/core"
+	"fractal/internal/inp"
+	"fractal/internal/mobilecode"
+)
+
+// directWorld is a minimal wired client environment around the builtin
+// Direct module: a scriptable negotiator, a PAD store serving the packed
+// module, and a scriptable content fetcher. It isolates client-plane
+// logic (races, singleflight, degradation) from the full appserver.
+type directWorld struct {
+	trust  *mobilecode.TrustList
+	meta   core.PADMeta
+	packed []byte
+}
+
+func buildDirectWorld(t testing.TB) *directWorld {
+	t.Helper()
+	signer, err := mobilecode.NewSigner("app-operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := mobilecode.BuildModule(mobilecode.BuiltinSpecs()[0], "1.0", signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := mod.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := mobilecode.NewTrustList()
+	if err := trust.Add(signer.Entity, signer.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	return &directWorld{
+		trust: trust,
+		meta: core.PADMeta{
+			ID: mod.ID, Version: mod.Version, Protocol: "direct",
+			Size: mod.Size(), Digest: mod.Digest, URL: "/pads/" + mod.ID,
+		},
+		packed: packed,
+	}
+}
+
+func (w *directWorld) config() Config {
+	cfg := pdaConfig(w.trust)
+	return cfg
+}
+
+// funcNeg adapts a function to the Negotiator interface.
+type funcNeg func(appID string, env core.Env, n int) ([]core.PADMeta, error)
+
+func (f funcNeg) Negotiate(appID string, env core.Env, n int) ([]core.PADMeta, error) {
+	return f(appID, env, n)
+}
+
+// funcFetcher adapts a function to the PADFetcher interface.
+type funcFetcher func(meta core.PADMeta) ([]byte, error)
+
+func (f funcFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) { return f(meta) }
+
+// funcContent adapts a function to the ContentFetcher interface.
+type funcContent func(req inp.AppReq) (inp.AppRep, error)
+
+func (f funcContent) FetchContent(req inp.AppReq) (inp.AppRep, error) { return f(req) }
+
+func (w *directWorld) negotiator() Negotiator {
+	return funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) {
+		return []core.PADMeta{w.meta}, nil
+	})
+}
+
+func (w *directWorld) padStore() PADFetcher {
+	return funcFetcher(func(meta core.PADMeta) ([]byte, error) {
+		if meta.ID != w.meta.ID {
+			return nil, fmt.Errorf("unknown PAD %s", meta.ID)
+		}
+		return w.packed, nil
+	})
+}
+
+// TestRequestDropsStaleVersionReply is the deterministic regression test
+// for the version-commit race: a reply carrying an older version than the
+// one already held (a slow response overtaken by a faster one, or a
+// replayed frame) must not regress the content cache.
+func TestRequestDropsStaleVersionReply(t *testing.T) {
+	w := buildDirectWorld(t)
+	var calls int32
+	content := funcContent(func(req inp.AppReq) (inp.AppRep, error) {
+		// First reply is version 2; the second is a stale version-1 reply
+		// arriving late.
+		v, body := 2, "content v2"
+		if atomic.AddInt32(&calls, 1) > 1 {
+			v, body = 1, "content v1"
+		}
+		return inp.AppRep{Resource: req.Resource, Version: v, PADID: w.meta.ID, Payload: []byte(body)}, nil
+	})
+	c, err := New(w.config(), w.negotiator(), w.padStore(), content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request("webapp", "page"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.HeldVersion("page"); got != 2 {
+		t.Fatalf("held version = %d, want 2", got)
+	}
+	if _, err := c.Request("webapp", "page"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.HeldVersion("page"); got != 2 {
+		t.Fatalf("stale reply regressed held version to %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.StaleVersionDrops != 1 {
+		t.Fatalf("stale drops = %d, want 1", st.StaleVersionDrops)
+	}
+	if st.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", st.Requests)
+	}
+}
+
+// TestRequestVersionMonotonicUnderRace hammers Request from many
+// goroutines against a server handing out versions in arbitrary order and
+// checks (under -race) that the held version only ever advances.
+func TestRequestVersionMonotonicUnderRace(t *testing.T) {
+	w := buildDirectWorld(t)
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(42))
+	var maxServed int
+	content := funcContent(func(req inp.AppReq) (inp.AppRep, error) {
+		mu.Lock()
+		v := 1 + rng.Intn(100)
+		if v > maxServed {
+			maxServed = v
+		}
+		mu.Unlock()
+		return inp.AppRep{Resource: req.Resource, Version: v, PADID: w.meta.ID,
+			Payload: []byte(fmt.Sprintf("content v%d", v))}, nil
+	})
+	c, err := New(w.config(), w.negotiator(), w.padStore(), content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for i := 0; i < rounds; i++ {
+				if _, err := c.Request("webapp", "page"); err != nil {
+					t.Error(err)
+					return
+				}
+				held := c.HeldVersion("page")
+				if held < last {
+					t.Errorf("held version regressed %d -> %d", last, held)
+					return
+				}
+				last = held
+			}
+		}()
+	}
+	wg.Wait()
+	if held := c.HeldVersion("page"); held != maxServed {
+		t.Fatalf("final held version = %d, want max served %d", held, maxServed)
+	}
+}
+
+// TestEnsureProtocolCollapsesStampede: a cold-start stampede of
+// concurrent sessions must produce exactly one negotiation; everyone else
+// joins it through the singleflight.
+func TestEnsureProtocolCollapsesStampede(t *testing.T) {
+	w := buildDirectWorld(t)
+	var negotiations int32
+	release := make(chan struct{})
+	neg := funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) {
+		atomic.AddInt32(&negotiations, 1)
+		<-release
+		return []core.PADMeta{w.meta}, nil
+	})
+	c, err := New(w.config(), neg, w.padStore(), funcContent(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stampede = 16
+	var wg sync.WaitGroup
+	errs := make([]error, stampede)
+	for g := 0; g < stampede; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.EnsureProtocol("webapp")
+		}(g)
+	}
+	// Give every goroutine time to reach the singleflight (the leader is
+	// parked inside Negotiate until released, so none can finish early).
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	if n := atomic.LoadInt32(&negotiations); n != 1 {
+		t.Fatalf("stampede opened %d negotiations, want 1", n)
+	}
+	st := c.Stats()
+	if st.Negotiations != 1 {
+		t.Fatalf("stats.Negotiations = %d, want 1", st.Negotiations)
+	}
+	if st.CollapsedNegotiations != stampede-1 {
+		t.Fatalf("collapsed = %d, want %d", st.CollapsedNegotiations, stampede-1)
+	}
+	// Warm path afterwards: cache hits, still one negotiation.
+	if _, err := c.EnsureProtocol("webapp"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Negotiations != 1 || st.ProtocolCacheHits != 1 {
+		t.Fatalf("warm path stats = %+v", st)
+	}
+}
+
+// TestDegradesToFallbackDirect: when the adaptation plane is down and a
+// local Direct module is configured, the session degrades instead of
+// failing — and the fallback still passes the security checks.
+func TestDegradesToFallbackDirect(t *testing.T) {
+	w := buildDirectWorld(t)
+	cfg := w.config()
+	cfg.FallbackDirect = w.packed
+	down := funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) {
+		return nil, errors.New("proxy unreachable")
+	})
+	content := funcContent(func(req inp.AppReq) (inp.AppRep, error) {
+		return inp.AppRep{Resource: req.Resource, Version: 1, PADID: w.meta.ID, Payload: []byte("direct body")}, nil
+	})
+	c, err := New(cfg, down, w.padStore(), content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads, err := c.EnsureProtocol("webapp")
+	if err != nil {
+		t.Fatalf("degradation failed: %v", err)
+	}
+	if len(pads) != 1 || pads[0].ID != w.meta.ID {
+		t.Fatalf("degraded pads = %+v", pads)
+	}
+	data, err := c.Request("webapp", "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "direct body" {
+		t.Fatalf("degraded content = %q", data)
+	}
+	st := c.Stats()
+	if st.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", st.Degradations)
+	}
+	if st.Negotiations != 0 {
+		t.Fatalf("negotiations = %d, want 0", st.Negotiations)
+	}
+	// The degraded protocol is cached: later sessions reuse it without
+	// re-touching the dead proxy.
+	if _, err := c.EnsureProtocol("webapp"); err != nil {
+		t.Fatal(err)
+	}
+	// Two cache hits: one inside Request, one from the explicit call.
+	if st := c.Stats(); st.Degradations != 1 || st.ProtocolCacheHits != 2 {
+		t.Fatalf("post-degradation stats = %+v", st)
+	}
+}
+
+// TestDegradeOnDeployFailure: negotiation succeeds but every PAD download
+// fails — the client still degrades rather than erroring.
+func TestDegradeOnDeployFailure(t *testing.T) {
+	w := buildDirectWorld(t)
+	cfg := w.config()
+	cfg.FallbackDirect = w.packed
+	deadStore := funcFetcher(func(core.PADMeta) ([]byte, error) {
+		return nil, errors.New("every edge down")
+	})
+	c, err := New(cfg, w.negotiator(), deadStore, funcContent(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads, err := c.EnsureProtocol("webapp")
+	if err != nil {
+		t.Fatalf("degradation failed: %v", err)
+	}
+	if len(pads) != 1 || pads[0].Protocol != "direct" {
+		t.Fatalf("degraded pads = %+v", pads)
+	}
+	if st := c.Stats(); st.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", st.Degradations)
+	}
+}
+
+// TestNoFallbackSurfacesCause: without a configured fallback the original
+// failure comes through untouched.
+func TestNoFallbackSurfacesCause(t *testing.T) {
+	w := buildDirectWorld(t)
+	sentinel := errors.New("proxy unreachable")
+	down := funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) { return nil, sentinel })
+	c, err := New(w.config(), down, w.padStore(), funcContent(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnsureProtocol("webapp"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if st := c.Stats(); st.Degradations != 0 {
+		t.Fatalf("degradations = %d, want 0", st.Degradations)
+	}
+}
+
+// TestRetryPolicyBackoffDeterministic checks the exponential schedule and
+// the cap with jitter disabled, and the jitter bounds with it enabled.
+func TestRetryPolicyBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.backoff(i+1, rng); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	j := RetryPolicy{Attempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := j.backoff(1, rng)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [50ms, 100ms]", d)
+		}
+	}
+	// Same seed, same jitter draws: the schedule is reproducible.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 1; i <= 5; i++ {
+		if j.backoff(i, a) != j.backoff(i, b) {
+			t.Fatal("equal seeds produced different backoff schedules")
+		}
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := DefaultRetryPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []RetryPolicy{
+		{Attempts: 0},
+		{Attempts: 1, BaseDelay: -time.Second},
+		{Attempts: 1, Jitter: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("policy %+v accepted", bad)
+		}
+	}
+}
+
+// TestRetryingNegotiatorRecovers: two transient failures then success,
+// with the backoff sleeps captured instead of slept.
+func TestRetryingNegotiatorRecovers(t *testing.T) {
+	w := buildDirectWorld(t)
+	var calls int32
+	flaky := funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return []core.PADMeta{w.meta}, nil
+	})
+	rn, err := NewRetryingNegotiator(flaky, RetryPolicy{Attempts: 3, BaseDelay: 10 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	rn.r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	pads, err := rn.Negotiate("webapp", w.config().Env, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pads) != 1 {
+		t.Fatalf("pads = %+v", pads)
+	}
+	if got := rn.Stats(); got.Attempts != 3 || got.Retries != 2 || got.Exhausted != 0 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v", slept)
+	}
+}
+
+// TestRetryingNegotiatorExhausts: a hard-down proxy fails after exactly
+// Attempts tries with the last error wrapped.
+func TestRetryingNegotiatorExhausts(t *testing.T) {
+	sentinel := errors.New("proxy down hard")
+	var calls int32
+	down := funcNeg(func(string, core.Env, int) ([]core.PADMeta, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, sentinel
+	})
+	rn, err := NewRetryingNegotiator(down, RetryPolicy{Attempts: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn.r.sleep = func(time.Duration) {}
+	if _, err := rn.Negotiate("webapp", core.Env{}, 1); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 4 {
+		t.Fatalf("calls = %d, want 4", n)
+	}
+	if got := rn.Stats(); got.Exhausted != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+// TestRetryingPADFetcherFailsOver: the first edge is dead; attempt two
+// rotates to the second source and succeeds.
+func TestRetryingPADFetcherFailsOver(t *testing.T) {
+	w := buildDirectWorld(t)
+	dead := funcFetcher(func(core.PADMeta) ([]byte, error) { return nil, errors.New("edge down") })
+	var aliveCalls int32
+	alive := funcFetcher(func(meta core.PADMeta) ([]byte, error) {
+		atomic.AddInt32(&aliveCalls, 1)
+		return w.packed, nil
+	})
+	rf, err := NewRetryingPADFetcher(RetryPolicy{Attempts: 3}, 1, dead, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.r.sleep = func(time.Duration) {}
+	packed, err := rf.FetchPAD(w.meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != len(w.packed) {
+		t.Fatalf("failover returned %d bytes, want %d", len(packed), len(w.packed))
+	}
+	if got := rf.Stats(); got.Attempts != 2 || got.Retries != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if atomic.LoadInt32(&aliveCalls) != 1 {
+		t.Fatalf("second source called %d times, want 1", aliveCalls)
+	}
+}
+
+func TestRetryWrapperConstructorsReject(t *testing.T) {
+	if _, err := NewRetryingNegotiator(nil, DefaultRetryPolicy(), 1); err == nil {
+		t.Error("nil negotiator accepted")
+	}
+	if _, err := NewRetryingNegotiator(funcNeg(nil), RetryPolicy{}, 1); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := NewRetryingPADFetcher(DefaultRetryPolicy(), 1); err == nil {
+		t.Error("zero sources accepted")
+	}
+	if _, err := NewRetryingPADFetcher(DefaultRetryPolicy(), 1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}

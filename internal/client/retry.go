@@ -1,0 +1,215 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fractal/internal/core"
+)
+
+// RetryPolicy parameterizes capped jittered exponential backoff: retry n
+// waits base·2^(n-1) capped at MaxDelay, with the top Jitter fraction of
+// that wait randomized from a seeded generator so stampeding clients
+// decorrelate reproducibly.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included); must
+	// be >= 1.
+	Attempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; zero means uncapped.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each wait drawn uniformly at
+	// random (0 = fully deterministic waits).
+	Jitter float64
+}
+
+// DefaultRetryPolicy suits interactive clients: three tries, 50ms base,
+// 2s cap, half-jittered.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+}
+
+// Validate reports whether the policy is usable.
+func (p RetryPolicy) Validate() error {
+	if p.Attempts < 1 {
+		return fmt.Errorf("client: retry policy needs >= 1 attempt, got %d", p.Attempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("client: retry policy has negative delays: %+v", p)
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("client: retry jitter %v out of [0,1]", p.Jitter)
+	}
+	return nil
+}
+
+// backoff computes the wait before the retry-th retry (1-based), drawing
+// jitter from rng.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && d > 0 {
+		fixed := time.Duration(float64(d) * (1 - p.Jitter))
+		span := d - fixed
+		if span > 0 {
+			d = fixed + time.Duration(rng.Int63n(int64(span)+1))
+		}
+	}
+	return d
+}
+
+// RetryStats counts a retrier's activity.
+type RetryStats struct {
+	// Attempts is every call of the wrapped operation, including firsts.
+	Attempts int64
+	// Retries is how many attempts were repeats after a failure.
+	Retries int64
+	// Exhausted counts operations that failed every attempt.
+	Exhausted int64
+}
+
+// retrier runs operations under a RetryPolicy with a seeded jitter
+// source. It is safe for concurrent use.
+type retrier struct {
+	policy RetryPolicy
+	sleep  func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats RetryStats
+}
+
+func newRetrier(p RetryPolicy, seed int64) (*retrier, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &retrier{policy: p, sleep: time.Sleep, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// do runs fn until it succeeds or the policy is exhausted. fn receives
+// the 1-based attempt number so callers can rotate across failover
+// sources.
+func (r *retrier) do(op string, fn func(attempt int) error) error {
+	var last error
+	for a := 1; a <= r.policy.Attempts; a++ {
+		r.mu.Lock()
+		r.stats.Attempts++
+		if a > 1 {
+			r.stats.Retries++
+		}
+		r.mu.Unlock()
+		if last = fn(a); last == nil {
+			return nil
+		}
+		if a < r.policy.Attempts {
+			r.mu.Lock()
+			d := r.policy.backoff(a, r.rng)
+			r.mu.Unlock()
+			if d > 0 {
+				r.sleep(d)
+			}
+		}
+	}
+	r.mu.Lock()
+	r.stats.Exhausted++
+	r.mu.Unlock()
+	return fmt.Errorf("client: %s failed after %d attempts: %w", op, r.policy.Attempts, last)
+}
+
+// Stats snapshots the retry counters.
+func (r *retrier) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// RetryingNegotiator wraps a Negotiator with retry/backoff: transient
+// proxy failures (refused dials, stalls cut by deadlines, resets) are
+// retried on fresh connections before the failure is surfaced.
+type RetryingNegotiator struct {
+	next Negotiator
+	r    *retrier
+}
+
+// NewRetryingNegotiator wraps next. The seed drives backoff jitter.
+func NewRetryingNegotiator(next Negotiator, p RetryPolicy, seed int64) (*RetryingNegotiator, error) {
+	if next == nil {
+		return nil, fmt.Errorf("client: retrying negotiator needs a next negotiator")
+	}
+	r, err := newRetrier(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &RetryingNegotiator{next: next, r: r}, nil
+}
+
+// Negotiate implements Negotiator.
+func (n *RetryingNegotiator) Negotiate(appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
+	var pads []core.PADMeta
+	err := n.r.do("negotiation for "+appID, func(int) error {
+		var ferr error
+		pads, ferr = n.next.Negotiate(appID, env, sessionRequests)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pads, nil
+}
+
+// Stats snapshots the retry counters.
+func (n *RetryingNegotiator) Stats() RetryStats { return n.r.Stats() }
+
+// RetryingPADFetcher wraps one or more PADFetchers with retry/backoff
+// and multi-source failover: attempt k goes to source (k-1) mod len, so
+// a dead edge rotates to the next one instead of being hammered.
+type RetryingPADFetcher struct {
+	sources []PADFetcher
+	r       *retrier
+}
+
+// NewRetryingPADFetcher wraps the sources in failover order.
+func NewRetryingPADFetcher(p RetryPolicy, seed int64, sources ...PADFetcher) (*RetryingPADFetcher, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("client: retrying PAD fetcher needs >= 1 source")
+	}
+	for i, s := range sources {
+		if s == nil {
+			return nil, fmt.Errorf("client: retrying PAD fetcher source %d is nil", i)
+		}
+	}
+	r, err := newRetrier(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &RetryingPADFetcher{sources: append([]PADFetcher(nil), sources...), r: r}, nil
+}
+
+// FetchPAD implements PADFetcher.
+func (f *RetryingPADFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
+	var out []byte
+	err := f.r.do("PAD download "+meta.ID, func(attempt int) error {
+		var ferr error
+		out, ferr = f.sources[(attempt-1)%len(f.sources)].FetchPAD(meta)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats snapshots the retry counters.
+func (f *RetryingPADFetcher) Stats() RetryStats { return f.r.Stats() }

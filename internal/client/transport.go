@@ -1,9 +1,11 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"fractal/internal/cdn"
 	"fractal/internal/core"
@@ -11,22 +13,53 @@ import (
 	"fractal/internal/netsim"
 )
 
+// DialFunc opens a connection; it matches net.Dial so a faultnet.Dialer
+// (or any other wrapper) can be injected in place of the real dialer.
+type DialFunc func(network, addr string) (net.Conn, error)
+
+// ErrSessionBroken marks an application session whose INP stream
+// position is unknown (a mid-frame read error, timeout, or sequence
+// violation desynchronized it). The session redials on the next call;
+// ErrSessionBroken surfaces only when that redial fails too.
+var ErrSessionBroken = errors.New("client: app session broken")
+
+// dialBounded opens a TCP connection through the injected dialer if one
+// is set, otherwise through net.DialTimeout (zero timeout = unbounded,
+// the historical behaviour).
+func dialBounded(dial DialFunc, timeout time.Duration, addr string) (net.Conn, error) {
+	if dial != nil {
+		return dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // TCPNegotiator performs the Figure 4 negotiation against a live
 // adaptation proxy over INP/TCP. ClientID, when set, identifies the
-// principal for the proxy's access-control policy.
+// principal for the proxy's access-control policy. The zero timeouts
+// reproduce the historical fair-weather behaviour (block forever);
+// production configurations should set both.
 type TCPNegotiator struct {
 	Addr     string
 	ClientID string
+	// DialTimeout bounds the TCP dial; zero means no bound.
+	DialTimeout time.Duration
+	// CallTimeout bounds every individual read and write of the
+	// negotiation exchange; zero means no bound.
+	CallTimeout time.Duration
+	// Dial, when set, replaces the real dialer (fault injection, SOCKS,
+	// in-process transports). DialTimeout is then the dialer's concern.
+	Dial DialFunc
 }
 
 // Negotiate implements Negotiator.
 func (t *TCPNegotiator) Negotiate(appID string, env core.Env, sessionRequests int) ([]core.PADMeta, error) {
-	conn, err := net.Dial("tcp", t.Addr)
+	conn, err := dialBounded(t.Dial, t.DialTimeout, t.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing proxy %s: %w", t.Addr, err)
 	}
 	defer conn.Close()
 	c := inp.NewConn(conn)
+	c.SetTimeout(t.CallTimeout)
 	var initRep inp.InitRep
 	if err := c.Call(inp.MsgInitReq, inp.InitReq{AppID: appID, ClientID: t.ClientID}, inp.MsgInitRep, &initRep); err != nil {
 		return nil, fmt.Errorf("client: INIT exchange: %w", err)
@@ -90,16 +123,24 @@ func (f *CDNFetcher) Retrievals() []cdn.Retrieval {
 // centralized) over INP/TCP, one connection per download.
 type TCPPADFetcher struct {
 	Addr string
+	// DialTimeout bounds the TCP dial; zero means no bound.
+	DialTimeout time.Duration
+	// CallTimeout bounds each read/write of the download; zero means no
+	// bound.
+	CallTimeout time.Duration
+	// Dial, when set, replaces the real dialer.
+	Dial DialFunc
 }
 
 // FetchPAD implements PADFetcher.
 func (f *TCPPADFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
-	conn, err := net.Dial("tcp", f.Addr)
+	conn, err := dialBounded(f.Dial, f.DialTimeout, f.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing PAD server %s: %w", f.Addr, err)
 	}
 	defer conn.Close()
 	c := inp.NewConn(conn)
+	c.SetTimeout(f.CallTimeout)
 	var rep inp.PADDownloadRep
 	err = c.Call(inp.MsgPADDownloadReq,
 		inp.PADDownloadReq{PADID: meta.ID, URL: meta.URL},
@@ -113,36 +154,110 @@ func (f *TCPPADFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
 	return rep.Module, nil
 }
 
+// SessionConfig bounds a TCPAppSession's I/O. The zero value reproduces
+// the historical unbounded behaviour.
+type SessionConfig struct {
+	// DialTimeout bounds the TCP dial (and each redial); zero = none.
+	DialTimeout time.Duration
+	// CallTimeout bounds each read/write of a content exchange; zero =
+	// none.
+	CallTimeout time.Duration
+	// Dial, when set, replaces the real dialer.
+	Dial DialFunc
+}
+
 // TCPAppSession is a persistent APP_REQ/APP_REP session with the
-// application server over INP/TCP.
+// application server over INP/TCP. After a transport-level failure the
+// stream position is unknown, so the session marks itself broken and
+// transparently redials on the next call rather than reading garbage
+// from a half-consumed stream. TCPAppSession is safe for concurrent use.
 type TCPAppSession struct {
-	mu   sync.Mutex
-	conn net.Conn
-	c    *inp.Conn
+	addr string
+	cfg  SessionConfig
+
+	mu      sync.Mutex
+	conn    net.Conn
+	c       *inp.Conn
+	broken  bool
+	redials int64
 }
 
-// DialApp opens an application session.
+// DialApp opens an application session with unbounded I/O.
 func DialApp(addr string) (*TCPAppSession, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing application server %s: %w", addr, err)
-	}
-	return &TCPAppSession{conn: conn, c: inp.NewConn(conn)}, nil
+	return DialAppSession(addr, SessionConfig{})
 }
 
-// FetchContent implements ContentFetcher.
+// DialAppSession opens an application session with the given bounds.
+func DialAppSession(addr string, cfg SessionConfig) (*TCPAppSession, error) {
+	s := &TCPAppSession{addr: addr, cfg: cfg}
+	if err := s.redialLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// redialLocked (re)establishes the connection; the caller holds mu (or
+// owns the session exclusively during construction).
+func (s *TCPAppSession) redialLocked() error {
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+	conn, err := dialBounded(s.cfg.Dial, s.cfg.DialTimeout, s.addr)
+	if err != nil {
+		return fmt.Errorf("client: dialing application server %s: %w", s.addr, err)
+	}
+	c := inp.NewConn(conn)
+	c.SetTimeout(s.cfg.CallTimeout)
+	s.conn, s.c, s.broken = conn, c, false
+	return nil
+}
+
+// FetchContent implements ContentFetcher. An in-band peer error (the
+// server answered MsgError) leaves the stream framed and the session
+// healthy; any transport-level failure breaks the session, and the next
+// call redials before retrying.
 func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken {
+		if err := s.redialLocked(); err != nil {
+			return inp.AppRep{}, fmt.Errorf("%w; redial failed: %w", ErrSessionBroken, err)
+		}
+		s.redials++
+	}
 	var rep inp.AppRep
 	if err := s.c.Call(inp.MsgAppReq, req, inp.MsgAppRep, &rep); err != nil {
+		var pe *inp.PeerError
+		if !errors.As(err, &pe) {
+			s.broken = true
+			_ = s.conn.Close()
+			return inp.AppRep{}, fmt.Errorf("client: app session to %s: %w: %w", s.addr, ErrSessionBroken, err)
+		}
 		return inp.AppRep{}, err
 	}
 	return rep, nil
 }
 
+// Broken reports whether the next call will have to redial.
+func (s *TCPAppSession) Broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Redials reports how many times the session recovered by redialing.
+func (s *TCPAppSession) Redials() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redials
+}
+
 // Close ends the session.
-func (s *TCPAppSession) Close() error { return s.conn.Close() }
+func (s *TCPAppSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn.Close()
+}
 
 // LocalAppServer adapts an in-process application server to the
 // ContentFetcher interface for simulation and tests.

@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"fractal/internal/appserver"
+	"fractal/internal/client"
+	"fractal/internal/core"
+	"fractal/internal/faultnet"
+	"fractal/internal/inp"
+	"fractal/internal/mobilecode"
+	"fractal/internal/netsim"
+	"fractal/internal/proxy"
+)
+
+// The fault-schedule scenario set: the client plane is driven over real
+// TCP through faultnet's deterministic injector, one scenario at a time,
+// and every scenario must end in one of three contract outcomes —
+// completed, failed fast with a typed error, or degraded to the Direct
+// builtin. Scenarios run sequentially with a single client each, so a
+// fixed (workload seed, fault seed) pair reproduces identical rows.
+
+// faultsCallTimeout bounds each read/write of a faulted exchange; an
+// injected stall therefore costs one deadline, not a hung run.
+const faultsCallTimeout = 250 * time.Millisecond
+
+// Scenario outcomes (the resilience contract).
+const (
+	OutcomeCompleted  = "completed"
+	OutcomeFailedFast = "failed-fast"
+	OutcomeDegraded   = "degraded"
+)
+
+// FaultScenario is one row of the fault suite.
+type FaultScenario struct {
+	Name    string
+	Outcome string
+	Detail  string
+	// Faults is the schedule's consumed-fault census, keyed by fault kind.
+	Faults map[string]int64
+}
+
+// FaultsResult is the scenario series.
+type FaultsResult struct {
+	Seed      int64
+	Scenarios []FaultScenario
+}
+
+// RunFaults exercises the hardened client plane under scripted faults.
+// The seed drives every fault schedule and retry-jitter source; two runs
+// with the same setup and seed produce identical rows.
+func RunFaults(s *Setup, seed int64) (FaultsResult, error) {
+	srv, err := proxy.NewServer(s.Proxy, 16, func(string, ...interface{}) {})
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return FaultsResult{}, fmt.Errorf("experiment: faults listen: %w", err)
+	}
+	pdone := make(chan error, 1)
+	go func() { pdone <- srv.Serve(pln) }()
+	defer func() { _ = srv.Close(); <-pdone }()
+
+	asrv, err := appserver.NewINPServer(s.App, 16, func(string, ...interface{}) {})
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return FaultsResult{}, fmt.Errorf("experiment: faults app listen: %w", err)
+	}
+	adone := make(chan error, 1)
+	go func() { adone <- asrv.Serve(aln) }()
+	defer func() { _ = asrv.Close(); <-adone }()
+
+	env := EnvFor(netsim.Stations()[0])
+	proxyAddr, appAddr := pln.Addr().String(), aln.Addr().String()
+
+	out := FaultsResult{Seed: seed}
+	for _, run := range []func() (FaultScenario, error){
+		func() (FaultScenario, error) { return faultsClean(s, proxyAddr, env, seed) },
+		func() (FaultScenario, error) { return faultsRefuseRetry(s, proxyAddr, env, seed) },
+		func() (FaultScenario, error) { return faultsStallDeadline(s, proxyAddr, env, seed) },
+		func() (FaultScenario, error) { return faultsCorruptRetry(s, proxyAddr, env, seed) },
+		func() (FaultScenario, error) { return faultsTruncateRedial(appAddr, seed) },
+		func() (FaultScenario, error) { return faultsProxyDownDegrade(s, proxyAddr, env, seed) },
+	} {
+		sc, err := run()
+		if err != nil {
+			return FaultsResult{}, err
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+	}
+	return out, nil
+}
+
+// newFaultsClient wires a single-session client: the given negotiator,
+// the simulated CDN for PAD downloads, and the in-process app server.
+func newFaultsClient(s *Setup, env core.Env, neg client.Negotiator, fallback []byte) (*client.Client, error) {
+	cfg := client.Config{
+		Env:             env,
+		SessionRequests: s.Config.SessionRequests,
+		Trust:           s.Trust,
+		Sandbox:         mobilecode.DefaultSandbox(),
+		FallbackDirect:  fallback,
+	}
+	pads := &client.CDNFetcher{CDN: s.CDN, Region: "region-0", Link: netsim.WLAN, Concurrent: 1}
+	content := client.LocalAppServer{Encode: func(ids []string, res string, have int) ([]byte, int, string, error) {
+		r, err := s.App.Encode(ids, res, have)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return r.Payload, r.Version, r.PADID, nil
+	}}
+	return client.New(cfg, neg, pads, content)
+}
+
+func retriedNegotiator(addr string, d *faultnet.Dialer, attempts int, seed int64) (*client.RetryingNegotiator, error) {
+	neg := &client.TCPNegotiator{Addr: addr, CallTimeout: faultsCallTimeout}
+	if d != nil {
+		neg.Dial = d.Dial
+	}
+	return client.NewRetryingNegotiator(neg,
+		client.RetryPolicy{Attempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}, seed)
+}
+
+func faultsClean(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	sched := faultnet.NewSchedule(seed)
+	d := &faultnet.Dialer{Schedule: sched}
+	rn, err := retriedNegotiator(addr, d, 3, seed)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	c, err := newFaultsClient(s, env, rn, nil)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	for _, res := range []string{"page-000", "page-001"} {
+		if _, err := c.Request("webapp", res); err != nil {
+			return FaultScenario{}, fmt.Errorf("experiment: clean scenario: %w", err)
+		}
+	}
+	st := c.Stats()
+	return FaultScenario{
+		Name:    "clean",
+		Outcome: OutcomeCompleted,
+		Detail:  fmt.Sprintf("negotiations=%d requests=%d", st.Negotiations, st.Requests),
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+func faultsRefuseRetry(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	sched := faultnet.NewSchedule(seed, faultnet.Fault{Kind: faultnet.Refuse}, faultnet.Fault{})
+	d := &faultnet.Dialer{Schedule: sched}
+	rn, err := retriedNegotiator(addr, d, 3, seed)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	c, err := newFaultsClient(s, env, rn, nil)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	if _, err := c.Request("webapp", "page-000"); err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: refuse-retry scenario: %w", err)
+	}
+	return FaultScenario{
+		Name:    "refuse-then-retry",
+		Outcome: OutcomeCompleted,
+		Detail:  fmt.Sprintf("retries=%d", rn.Stats().Retries),
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+func faultsStallDeadline(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	sched := faultnet.NewSchedule(seed, faultnet.Fault{Kind: faultnet.StallRead})
+	d := &faultnet.Dialer{Schedule: sched}
+	neg := &client.TCPNegotiator{Addr: addr, CallTimeout: faultsCallTimeout, Dial: d.Dial}
+	_, err := neg.Negotiate("webapp", env, s.Config.SessionRequests)
+	if err == nil {
+		return FaultScenario{}, fmt.Errorf("experiment: stalled negotiation unexpectedly completed")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		return FaultScenario{}, fmt.Errorf("experiment: stalled negotiation failed untyped: %w", err)
+	}
+	return FaultScenario{
+		Name:    "stall-read",
+		Outcome: OutcomeFailedFast,
+		Detail:  "deadline-exceeded",
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+func faultsCorruptRetry(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	sched := faultnet.NewSchedule(seed, faultnet.Fault{Kind: faultnet.Corrupt, Count: 2}, faultnet.Fault{})
+	d := &faultnet.Dialer{Schedule: sched}
+	rn, err := retriedNegotiator(addr, d, 3, seed)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	c, err := newFaultsClient(s, env, rn, nil)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	if _, err := c.Request("webapp", "page-000"); err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: corrupt-retry scenario: %w", err)
+	}
+	return FaultScenario{
+		Name:    "corrupt-then-retry",
+		Outcome: OutcomeCompleted,
+		Detail:  fmt.Sprintf("retries=%d", rn.Stats().Retries),
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+func faultsTruncateRedial(appAddr string, seed int64) (FaultScenario, error) {
+	sched := faultnet.NewSchedule(seed,
+		faultnet.Fault{Kind: faultnet.Truncate, After: 20}, faultnet.Fault{})
+	d := &faultnet.Dialer{Schedule: sched}
+	session, err := client.DialAppSession(appAddr, client.SessionConfig{CallTimeout: faultsCallTimeout, Dial: d.Dial})
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	defer session.Close()
+	req := inp.AppReq{AppID: "webapp", Resource: "page-000", ProtocolIDs: []string{"pad-direct"}}
+	if _, err := session.FetchContent(req); !errors.Is(err, client.ErrSessionBroken) {
+		return FaultScenario{}, fmt.Errorf("experiment: truncation err = %v, want ErrSessionBroken", err)
+	}
+	if _, err := session.FetchContent(req); err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: redial after truncation: %w", err)
+	}
+	return FaultScenario{
+		Name:    "truncate-then-redial",
+		Outcome: OutcomeCompleted,
+		Detail:  fmt.Sprintf("redials=%d", session.Redials()),
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+func faultsProxyDownDegrade(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	// Provision the fallback module the way a device vendor would: the
+	// published pad-direct module itself (already signed by the trusted
+	// operator), fetched once over a healthy link and kept locally.
+	r, err := s.CDN.Retrieve("region-0", "/pads/pad-direct", netsim.WLAN, 1)
+	if err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: provisioning fallback module: %w", err)
+	}
+	sched := faultnet.NewSchedule(seed,
+		faultnet.Fault{Kind: faultnet.Refuse}, faultnet.Fault{Kind: faultnet.Refuse})
+	d := &faultnet.Dialer{Schedule: sched}
+	rn, err := retriedNegotiator(addr, d, 2, seed)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	c, err := newFaultsClient(s, env, rn, r.Data)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	if _, err := c.Request("webapp", "page-000"); err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: degraded scenario: %w", err)
+	}
+	st := c.Stats()
+	if st.Degradations != 1 {
+		return FaultScenario{}, fmt.Errorf("experiment: degradations = %d, want 1", st.Degradations)
+	}
+	return FaultScenario{
+		Name:    "proxy-down-degrade",
+		Outcome: OutcomeDegraded,
+		Detail:  fmt.Sprintf("degradations=%d requests=%d", st.Degradations, st.Requests),
+		Faults:  sched.Counts(),
+	}, nil
+}
+
+// Rows renders the scenario series for the bench harness.
+func (r FaultsResult) Rows() []string {
+	rows := []string{"scenario\toutcome\tdetail\tfaults"}
+	for _, sc := range r.Scenarios {
+		keys := make([]string, 0, len(sc.Faults))
+		for k := range sc.Faults {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, sc.Faults[k]))
+		}
+		census := strings.Join(parts, ",")
+		if census == "" {
+			census = "-"
+		}
+		rows = append(rows, fmt.Sprintf("%s\t%s\t%s\t%s", sc.Name, sc.Outcome, sc.Detail, census))
+	}
+	return rows
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func faultsSetup(t *testing.T) *Setup {
+	t.Helper()
+	cfg := DefaultSetupConfig()
+	cfg.Pages = 6
+	cfg.SamplePages = 3
+	cfg.Edges = 3
+	s, err := NewSetup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunFaultsContract(t *testing.T) {
+	s := faultsSetup(t)
+	r, err := RunFaults(s, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"clean":                OutcomeCompleted,
+		"refuse-then-retry":    OutcomeCompleted,
+		"stall-read":           OutcomeFailedFast,
+		"corrupt-then-retry":   OutcomeCompleted,
+		"truncate-then-redial": OutcomeCompleted,
+		"proxy-down-degrade":   OutcomeDegraded,
+	}
+	if len(r.Scenarios) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(r.Scenarios), len(want))
+	}
+	for _, sc := range r.Scenarios {
+		w, ok := want[sc.Name]
+		if !ok {
+			t.Errorf("unexpected scenario %q", sc.Name)
+			continue
+		}
+		if sc.Outcome != w {
+			t.Errorf("scenario %s outcome = %s, want %s", sc.Name, sc.Outcome, w)
+		}
+	}
+	rows := r.Rows()
+	if len(rows) != len(want)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want)+1)
+	}
+	if !strings.HasPrefix(rows[0], "scenario\t") {
+		t.Fatalf("header row = %q", rows[0])
+	}
+	// Every faulted scenario reports its fault census.
+	for _, row := range rows[1:] {
+		if strings.HasSuffix(row, "\t") {
+			t.Errorf("row missing census: %q", row)
+		}
+	}
+}
+
+// TestRunFaultsReproducible: same setup seeds, same fault seed — the
+// rendered rows must be identical across runs.
+func TestRunFaultsReproducible(t *testing.T) {
+	run := func() []string {
+		s := faultsSetup(t)
+		r, err := RunFaults(s, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Rows()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault rows differ across identical runs:\n%v\nvs\n%v", a, b)
+	}
+}

@@ -1,35 +1,108 @@
 package inp
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
+// PeerError is an in-band MsgError reported by the peer. It is a typed
+// error so transports can tell an application-level refusal (the stream
+// stays framed and usable) from a transport-level failure (the stream
+// position is unknown and the connection must be abandoned).
+type PeerError struct {
+	Message string
+}
+
+// Error preserves the historical "inp: peer error: ..." rendering.
+func (e *PeerError) Error() string {
+	if e.Message == "" {
+		return "inp: peer error (unparseable body)"
+	}
+	return "inp: peer error: " + e.Message
+}
+
+// ErrSeqMismatch reports a reply whose sequence number is not the next
+// one expected from the peer: a stale, duplicated, or replayed frame.
+var ErrSeqMismatch = errors.New("inp: sequence mismatch")
+
+// deadlineRW is the subset of net.Conn needed for bounded calls. A plain
+// io.ReadWriter (in-process pipe, bytes.Buffer) simply has no deadline
+// support and calls stay unbounded, as before.
+type deadlineRW interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
 // Conn is a sequential INP endpoint over a byte stream: it stamps outgoing
-// sequence numbers and offers a call helper for the request/response
-// pattern of Figure 4. A Conn serves one session and is not safe for
-// concurrent use.
+// sequence numbers, verifies that inbound sequence numbers advance by
+// exactly one per frame (rejecting stale or duplicated frames), and offers
+// a call helper for the request/response pattern of Figure 4. A Conn
+// serves one session and is not safe for concurrent use.
 type Conn struct {
-	rw  io.ReadWriter
-	seq uint32
+	rw      io.ReadWriter
+	seq     uint32
+	peerSeq uint32
+	// timeout, when nonzero and rw supports deadlines, bounds each
+	// individual read and write so a stalled peer cannot block a call
+	// forever.
+	timeout time.Duration
 }
 
 // NewConn wraps a byte stream (typically a net.Conn).
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 
+// SetTimeout arms a per-operation I/O deadline: every subsequent send or
+// receive must complete within d. It is a no-op if the underlying stream
+// has no deadline support. Zero disables the bound.
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// armRead applies the per-operation read deadline, if any.
+func (c *Conn) armRead() {
+	if c.timeout <= 0 {
+		return
+	}
+	if d, ok := c.rw.(deadlineRW); ok {
+		_ = d.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// armWrite applies the per-operation write deadline, if any.
+func (c *Conn) armWrite() {
+	if c.timeout <= 0 {
+		return
+	}
+	if d, ok := c.rw.(deadlineRW); ok {
+		_ = d.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+}
+
 // Send frames and writes one message with the next sequence number.
 func (c *Conn) Send(t MsgType, body interface{}) error {
 	c.seq++
+	c.armWrite()
 	return WriteMessage(c.rw, Header{Version: Version, Type: t, Seq: c.seq}, body)
 }
 
-// Recv reads the next message.
+// Recv reads the next message and verifies its sequence number advances
+// the peer's stream by exactly one, so a duplicated or stale frame can
+// never be accepted as the answer to a newer request.
 func (c *Conn) Recv() (Header, []byte, error) {
-	return ReadMessage(c.rw)
+	c.armRead()
+	h, raw, err := ReadMessage(c.rw)
+	if err != nil {
+		return h, raw, err
+	}
+	if h.Seq != c.peerSeq+1 {
+		return h, raw, fmt.Errorf("%w: got %v seq %d, expected %d", ErrSeqMismatch, h.Type, h.Seq, c.peerSeq+1)
+	}
+	c.peerSeq = h.Seq
+	return h, raw, nil
 }
 
 // RecvInto reads the next message, requires it to be of the wanted type,
-// and decodes it into reply. A peer MsgError is surfaced as an error.
+// and decodes it into reply. A peer MsgError is surfaced as a *PeerError.
 func (c *Conn) RecvInto(want MsgType, reply interface{}) error {
 	h, raw, err := c.Recv()
 	if err != nil {
@@ -38,9 +111,9 @@ func (c *Conn) RecvInto(want MsgType, reply interface{}) error {
 	if h.Type == MsgError {
 		var e ErrorRep
 		if derr := DecodeBody(raw, &e); derr == nil && e.Message != "" {
-			return fmt.Errorf("inp: peer error: %s", e.Message)
+			return &PeerError{Message: e.Message}
 		}
-		return fmt.Errorf("inp: peer error (unparseable body)")
+		return &PeerError{}
 	}
 	if h.Type != want {
 		return fmt.Errorf("inp: expected %v, got %v", want, h.Type)

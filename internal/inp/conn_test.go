@@ -1,0 +1,128 @@
+package inp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestConnRejectsStaleSequence is the regression test for the unchecked
+// reply sequence numbers: a duplicated (replayed) frame must not be
+// accepted as the answer to a later request.
+func TestConnRejectsStaleSequence(t *testing.T) {
+	var wire bytes.Buffer
+	// The "peer" sends frame seq=1 twice: a legitimate reply followed by
+	// a duplicate of it (a replay or a stale retransmission).
+	if err := WriteMessage(&wire, Header{Version: Version, Type: MsgInitRep, Seq: 1}, InitRep{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), wire.Bytes()...)
+	wire.Write(frame)
+
+	c := NewConn(&wire)
+	var rep InitRep
+	if err := c.RecvInto(MsgInitRep, &rep); err != nil {
+		t.Fatalf("first frame rejected: %v", err)
+	}
+	err := c.RecvInto(MsgInitRep, &rep)
+	if !errors.Is(err, ErrSeqMismatch) {
+		t.Fatalf("duplicated frame err = %v, want ErrSeqMismatch", err)
+	}
+}
+
+func TestConnRejectsSkippedSequence(t *testing.T) {
+	var wire bytes.Buffer
+	// First frame from a fresh peer must carry seq 1; seq 5 means four
+	// frames were lost or reordered and the stream cannot be trusted.
+	if err := WriteMessage(&wire, Header{Version: Version, Type: MsgInitRep, Seq: 5}, InitRep{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(&wire)
+	var rep InitRep
+	if err := c.RecvInto(MsgInitRep, &rep); !errors.Is(err, ErrSeqMismatch) {
+		t.Fatalf("skipped-ahead frame err = %v, want ErrSeqMismatch", err)
+	}
+}
+
+// Property: for any claimed sequence number other than 1, a fresh Conn
+// rejects the frame; for exactly 1 it accepts.
+func TestConnSequenceGateProperty(t *testing.T) {
+	f := func(seq uint32) bool {
+		var wire bytes.Buffer
+		if err := WriteMessage(&wire, Header{Version: Version, Type: MsgInitRep, Seq: seq}, InitRep{OK: true}); err != nil {
+			return false
+		}
+		var rep InitRep
+		err := NewConn(&wire).RecvInto(MsgInitRep, &rep)
+		if seq == 1 {
+			return err == nil
+		}
+		return errors.Is(err, ErrSeqMismatch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnPeerErrorIsTyped(t *testing.T) {
+	var wire bytes.Buffer
+	peer := NewConn(&wire)
+	if err := peer.SendError("no such resource"); err != nil {
+		t.Fatal(err)
+	}
+	var rep AppRep
+	err := NewConn(&wire).RecvInto(MsgAppRep, &rep)
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PeerError", err, err)
+	}
+	if pe.Message != "no such resource" {
+		t.Fatalf("peer message = %q", pe.Message)
+	}
+	if err.Error() != "inp: peer error: no such resource" {
+		t.Fatalf("historical rendering changed: %q", err.Error())
+	}
+	if (&PeerError{}).Error() != "inp: peer error (unparseable body)" {
+		t.Fatalf("empty rendering changed: %q", (&PeerError{}).Error())
+	}
+}
+
+// TestConnTimeoutBoundsStalledRead proves a Conn.Call against a peer that
+// never answers returns within the configured timeout instead of hanging.
+func TestConnTimeoutBoundsStalledRead(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	// Drain the request so the write completes, then go silent.
+	go func() {
+		_, _, _ = ReadMessage(server)
+	}()
+	c := NewConn(client)
+	c.SetTimeout(80 * time.Millisecond)
+	var rep InitRep
+	start := time.Now()
+	err := c.Call(MsgInitReq, InitReq{AppID: "x"}, MsgInitRep, &rep)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled call err = %v, want deadline", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout did not bound the stalled call")
+	}
+}
+
+func TestConnTimeoutNoopOnPlainStream(t *testing.T) {
+	var wire bytes.Buffer
+	c := NewConn(&wire)
+	c.SetTimeout(time.Millisecond) // bytes.Buffer has no deadlines
+	if err := c.Send(MsgInitRep, InitRep{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rep InitRep
+	if err := NewConn(&wire).RecvInto(MsgInitRep, &rep); err != nil {
+		t.Fatal(err)
+	}
+}

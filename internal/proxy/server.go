@@ -40,10 +40,15 @@ type Server struct {
 func (s *Server) SetIdleTimeout(d time.Duration) { s.idle = d }
 
 // armDeadline applies the idle timeout to a connection if configured.
+// Both directions are bounded: a peer that stops reading mid-reply (a
+// stalled or reset client) must not pin the serving goroutine any longer
+// than one that stops sending.
 func (s *Server) armDeadline(conn net.Conn) {
 	if s.idle > 0 {
 		//fractal:allow simtime — real socket read deadline, not simulated time
 		_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		//fractal:allow simtime — real socket write deadline, not simulated time
+		_ = conn.SetWriteDeadline(time.Now().Add(s.idle))
 	}
 }
 
