@@ -142,6 +142,7 @@ func runNegotiate(workers, ops int) (section, error) {
 	sec.Rows = append(sec.Rows, fmt.Sprintf("searches\t%d", st.Searches))
 	sec.Rows = append(sec.Rows, fmt.Sprintf("collapsed_searches\t%d", st.CollapsedSearches))
 	sec.Rows = append(sec.Rows, fmt.Sprintf("search_nanos_total\t%d", st.TotalSearchNanos))
+	sec.Rows = append(sec.Rows, fmt.Sprintf("verifier_rejections\t%d", st.VerifierRejections))
 	cs := p.CacheStats()
 	sec.Rows = append(sec.Rows, fmt.Sprintf("adaptation_cache\thits=%d misses=%d evictions=%d", cs.Hits, cs.Misses, cs.Evictions))
 	return sec, nil

@@ -1,15 +1,20 @@
 // Command fractal-vet runs the repo-specific static-analysis suite over
 // the module: determinism (simtime, rawrand), error-handling (errdiscard),
-// VM instruction-set completeness (opcomplete), and digest-comparison
-// hygiene (digestsafe). See internal/analysis for the invariants and the
-// //fractal:allow annotation syntax.
+// VM instruction-set completeness (opcomplete), digest-comparison hygiene
+// (digestsafe), and conn-deadline safety (deadline). See internal/analysis
+// for the invariants and the //fractal:allow annotation syntax.
 //
 // Usage:
 //
 //	fractal-vet [-json] [-enable a,b] [-disable c] [packages]
+//	fractal-vet -pads [module.pad ...]
 //
 // With no arguments (or "./...") every package of the enclosing module is
-// analyzed. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// analyzed. -pads switches fractal-vet to the mobile-code plane: it runs
+// the static bytecode verifier (internal/mobilecode/verify) over every
+// builtin PAD module — and over each packed module file named on the
+// command line — printing one proof summary per program. Exit status: 0
+// clean, 1 findings/rejections, 2 usage or load failure.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"strings"
 
 	"fractal/internal/analysis"
+	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
 )
 
 func main() {
@@ -34,8 +41,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	pads := fs.Bool("pads", false, "verify builtin PAD bytecode (and any packed module files given as arguments) instead of Go sources")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *pads {
+		return runPads(fs.Args(), *jsonOut, stdout, stderr)
 	}
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -85,6 +96,109 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// padReport is the JSON shape of one verified (or rejected) module in
+// -pads -json output.
+type padReport struct {
+	Module  string         `json:"module"`
+	Version string         `json:"version,omitempty"`
+	Source  string         `json:"source"`
+	Error   string         `json:"error,omitempty"`
+	Encode  *verify.Report `json:"encode,omitempty"`
+	Decode  *verify.Report `json:"decode,omitempty"`
+}
+
+// runPads verifies mobile-code modules rather than Go packages: every
+// builtin PAD spec is built and put through the static verifier under the
+// default sandbox, then each positional argument is read as a packed
+// module file and verified the same way. One line per program summarizes
+// the proof (exact cost, stack bounds, resolved capabilities); a rejection
+// prints the typed verifier error and fails the run.
+func runPads(args []string, jsonOut bool, stdout, stderr *os.File) int {
+	signer, err := mobilecode.NewSigner("fractal-vet")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	specs := mobilecode.BuiltinSpecs()
+	specs = append(specs, mobilecode.RsyncSpec(), mobilecode.CascadeSpec())
+	specs = append(specs, mobilecode.TranscoderSpecs()...)
+	sb := mobilecode.DefaultSandbox()
+
+	var reports []padReport
+	for _, spec := range specs {
+		r := padReport{Module: spec.ID, Source: "builtin"}
+		m, err := mobilecode.BuildModule(spec, "vet", signer)
+		if err != nil {
+			r.Error = err.Error()
+		} else if rep, err := verify.Module(m, sb); err != nil {
+			r.Error = err.Error()
+		} else {
+			r.Version, r.Encode, r.Decode = m.Version, rep.Encode, rep.Decode
+		}
+		reports = append(reports, r)
+	}
+	for _, path := range args {
+		r := padReport{Module: path, Source: path}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if rep, err := verify.Packed(data, sb); err != nil {
+			r.Error = err.Error()
+		} else {
+			r.Module, r.Version = rep.ID, rep.Version
+			r.Encode, r.Decode = rep.Encode, rep.Decode
+		}
+		reports = append(reports, r)
+	}
+
+	rejected := 0
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, r := range reports {
+			if r.Error != "" {
+				rejected++
+			}
+		}
+	} else {
+		for _, r := range reports {
+			if r.Error != "" {
+				rejected++
+				fmt.Fprintf(stdout, "%-16s REJECTED: %s\n", r.Module, r.Error)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-16s encode %s\n", r.Module, padSummary(r.Encode))
+			fmt.Fprintf(stdout, "%-16s decode %s\n", "", padSummary(r.Decode))
+		}
+		fmt.Fprintf(stdout, "verified %d modules, %d rejected\n", len(reports)-rejected, rejected)
+	}
+	if rejected > 0 {
+		return 1
+	}
+	return 0
+}
+
+// padSummary renders one program's proof on a single line.
+func padSummary(rep *verify.Report) string {
+	cost := fmt.Sprintf("cost<=%d", rep.MaxCost)
+	if rep.ExactCost {
+		cost = fmt.Sprintf("cost=%d", rep.MaxCost)
+	}
+	loops := ""
+	if rep.Loops {
+		loops = " guarded-loops"
+	}
+	return fmt.Sprintf("%d instr %s ints<=%d bufs<=%d%s calls=%s",
+		rep.Instructions, cost, rep.MaxIntDepth, rep.MaxBufDepth, loops,
+		strings.Join(rep.Calls, ","))
 }
 
 // loadTargets resolves the package arguments: none or "./..." means the

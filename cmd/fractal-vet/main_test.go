@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"fractal/internal/analysis"
+	"fractal/internal/mobilecode"
 )
 
 // capture runs f with a temp file substituted for an output stream and
@@ -75,4 +77,95 @@ func capture2(t *testing.T, args []string) int {
 		code = run(args, f, f)
 	})
 	return code
+}
+
+func TestRunPadsBuiltinsClean(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-pads"}, f, f)
+	})
+	if code != 0 {
+		t.Fatalf("run -pads = %d, want 0 (output: %s)", code, out)
+	}
+	for _, id := range []string{"pad-direct", "pad-gzip", "pad-bitmap", "pad-vary", "pad-rsync", "pad-cascade"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-pads output missing module %q:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "0 rejected") {
+		t.Errorf("-pads output should report zero rejections:\n%s", out)
+	}
+}
+
+func TestRunPadsJSON(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-pads", "-json"}, f, f)
+	})
+	if code != 0 {
+		t.Fatalf("run -pads -json = %d, want 0 (output: %s)", code, out)
+	}
+	var reports []padReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("output is not a JSON report array: %v\n%s", err, out)
+	}
+	for _, r := range reports {
+		if r.Error != "" {
+			t.Errorf("builtin module %s rejected: %s", r.Module, r.Error)
+		}
+		if r.Encode == nil || !r.Encode.ExactCost {
+			t.Errorf("builtin module %s should carry an exact encode cost bound", r.Module)
+		}
+	}
+}
+
+// TestRunPadsRejectsPackedFile packs a signed module whose decode program
+// calls an undeclared capability and checks -pads fails on the file.
+func TestRunPadsRejectsPackedFile(t *testing.T) {
+	signer, err := mobilecode.NewSigner("vet-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := mobilecode.Assemble("CALL identity\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mobilecode.Assemble("CALL backdoor.fetch\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBin, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decBin, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mobilecode.NewModule("pad-evil", "1.0", mobilecode.Payload{
+		Protocol: "evil",
+		Encode:   encBin,
+		Decode:   decBin,
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "evil.pad")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-pads", path}, f, f)
+	})
+	if code != 1 {
+		t.Fatalf("run -pads %s = %d, want 1 (output: %s)", path, code, out)
+	}
+	if !strings.Contains(out, "REJECTED") || !strings.Contains(out, "backdoor.fetch") {
+		t.Errorf("-pads output should name the rejected capability:\n%s", out)
+	}
 }

@@ -19,6 +19,9 @@
 //     dispatch-switch handler.
 //   - digestsafe: digest equality goes through the designated constant-time
 //     helper, never ad-hoc ==/bytes.Equal.
+//   - deadline:   conn Read/Write and INP frame calls in the networking
+//     packages must be guarded by a deadline or SetTimeout, so a
+//     stalled peer cannot park a session goroutine forever.
 //
 // A finding can be suppressed at a genuine exception site (for example a
 // real-I/O read deadline) with a checked annotation comment on the same or
@@ -199,6 +202,7 @@ func Analyzers() []*Analyzer {
 		ErrdiscardAnalyzer,
 		OpcompleteAnalyzer,
 		DigestsafeAnalyzer,
+		DeadlineAnalyzer,
 	}
 }
 

@@ -157,6 +157,34 @@ func TestDigestsafeFixtures(t *testing.T) {
 	checkFixture(t, DigestsafeAnalyzer, filepath.Join("testdata", "digestsafe", "good"), "fractal/internal/mobilecode")
 }
 
+func TestDeadlineFixtures(t *testing.T) {
+	checkFixture(t, DeadlineAnalyzer, filepath.Join("testdata", "deadline", "bad"), "fractal/internal/inp")
+	checkFixture(t, DeadlineAnalyzer, filepath.Join("testdata", "deadline", "good"), "fractal/internal/inp")
+}
+
+// TestDeadlineScope verifies unbounded conn I/O outside the networking
+// packages (for example in a simulator) is not the deadline analyzer's
+// business.
+func TestDeadlineScope(t *testing.T) {
+	loader := getLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "deadline", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fractal/internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{DeadlineAnalyzer}) {
+		// The fixture's allow annotation goes stale out of scope and is
+		// rightly reported by allowcheck; only deadline findings themselves
+		// would be a scoping bug.
+		if d.Analyzer == DeadlineAnalyzer.Name {
+			t.Fatalf("deadline fired outside its scope: %v", d)
+		}
+	}
+}
+
 // TestDigestsafeScope verifies comparisons outside the verification
 // pipeline (for example the rsync encoder's dedup probe) are not flagged.
 func TestDigestsafeScope(t *testing.T) {

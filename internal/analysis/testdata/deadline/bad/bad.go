@@ -1,0 +1,32 @@
+// Package inp is the deadline bad fixture: unbounded Read/Write and frame
+// calls on deadline-capable connections in functions that never arm one.
+package inp
+
+import (
+	"io"
+	"time"
+)
+
+// conn has the net.Conn deadline shape.
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)      { return 0, nil }
+func (conn) Write(p []byte) (int, error)     { return 0, nil }
+func (conn) SetReadDeadline(time.Time) error { return nil }
+
+// ReadMessage stands in for the INP framing entry point.
+func ReadMessage(r io.Reader) ([]byte, error) { return nil, nil }
+
+func unbounded(c conn, buf []byte) {
+	c.Read(buf)  //want deadline:2
+	c.Write(buf) //want deadline:2
+}
+
+func unboundedFrame(c conn) {
+	ReadMessage(c) //want deadline:2
+}
+
+func allowed(c conn, buf []byte) {
+	// The accept loop's first byte is deliberately unbounded here.
+	c.Read(buf) //fractal:allow deadline — fixture exception site
+}

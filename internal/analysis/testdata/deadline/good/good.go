@@ -1,0 +1,47 @@
+// Package inp is the deadline good fixture: every conn operation is
+// either guarded by a deadline/SetTimeout in the same function or runs on
+// a stream with no deadline support (which cannot be bounded and is
+// therefore not flagged).
+package inp
+
+import (
+	"bytes"
+	"io"
+	"time"
+)
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)       { return 0, nil }
+func (conn) Write(p []byte) (int, error)      { return 0, nil }
+func (conn) SetReadDeadline(time.Time) error  { return nil }
+func (conn) SetWriteDeadline(time.Time) error { return nil }
+
+type session struct{ c conn }
+
+func (s *session) SetTimeout(time.Duration) {}
+
+func ReadMessage(r io.Reader) ([]byte, error) { return nil, nil }
+
+func guardedDirect(c conn, buf []byte) {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Read(buf)
+	c.Write(buf)
+}
+
+func guardedByHelper(s *session, buf []byte) {
+	s.SetTimeout(time.Second)
+	s.c.Read(buf)
+}
+
+func guardedFrame(c conn) {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	ReadMessage(c)
+}
+
+func plainStream(buf *bytes.Buffer, p []byte) {
+	// No deadline support: an in-memory buffer cannot stall.
+	buf.Read(p)
+	buf.Write(p)
+	ReadMessage(buf)
+}

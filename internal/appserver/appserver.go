@@ -20,6 +20,7 @@ import (
 	"fractal/internal/codec"
 	"fractal/internal/core"
 	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
 	"fractal/internal/transcode"
 	"fractal/internal/workload"
 )
@@ -213,6 +214,12 @@ func (s *Server) DeployPADs(moduleVersion string) error {
 		m, err := mobilecode.BuildModule(spec, moduleVersion, s.signer)
 		if err != nil {
 			return fmt.Errorf("appserver: building %s: %w", spec.ID, err)
+		}
+		// Static verification before registration: a module the server
+		// cannot prove safe is never published, measured, or pushed to the
+		// proxy — the same gate clients apply on deployment.
+		if _, err := verify.Module(m, mobilecode.DefaultSandbox()); err != nil {
+			return fmt.Errorf("appserver: %s: %w", spec.ID, err)
 		}
 		impl, err := codec.New(spec.Protocol)
 		if err != nil {

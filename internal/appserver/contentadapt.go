@@ -7,6 +7,7 @@ import (
 	"fractal/internal/codec"
 	"fractal/internal/core"
 	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
 	"fractal/internal/transcode"
 )
 
@@ -26,6 +27,9 @@ func (s *Server) DeployContentAdaptation(moduleVersion string) error {
 		m, err := mobilecode.BuildModule(spec, moduleVersion, s.signer)
 		if err != nil {
 			return fmt.Errorf("appserver: building %s: %w", spec.ID, err)
+		}
+		if _, err := verify.Module(m, mobilecode.DefaultSandbox()); err != nil {
+			return fmt.Errorf("appserver: %s: %w", spec.ID, err)
 		}
 		tc, err := transcode.New(spec.Protocol)
 		if err != nil {
@@ -161,6 +165,9 @@ func (s *Server) DeployExtraPAD(spec mobilecode.BuiltinSpec, moduleVersion strin
 	if err != nil {
 		return core.PADMeta{}, fmt.Errorf("appserver: building %s: %w", spec.ID, err)
 	}
+	if _, err := verify.Module(m, mobilecode.DefaultSandbox()); err != nil {
+		return core.PADMeta{}, fmt.Errorf("appserver: %s: %w", spec.ID, err)
+	}
 	impl, err := s.implFor(spec, m)
 	if err != nil {
 		return core.PADMeta{}, err
@@ -263,6 +270,7 @@ func (s *Server) implFor(spec mobilecode.BuiltinSpec, m *mobilecode.Module) (cod
 	if err != nil {
 		return nil, err
 	}
+	loader.SetVerifier(verify.LoaderVerifier())
 	packed, err := m.Pack()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,6 +15,7 @@ import (
 	"fractal/internal/core"
 	"fractal/internal/inp"
 	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
 	"fractal/internal/syncx"
 )
 
@@ -73,6 +75,11 @@ type Stats struct {
 	PayloadBytes       int64
 	ContentBytes       int64
 	SecurityRejections int64
+	// VerifierRejections counts the subset of SecurityRejections where the
+	// static bytecode verifier — not the digest or signature check —
+	// rejected a module: the code's provenance was fine but its programs
+	// could not be proven safe to execute.
+	VerifierRejections int64
 	// CollapsedNegotiations counts EnsureProtocol callers that joined an
 	// in-flight negotiation for the same application instead of opening a
 	// duplicate one (cold-start stampede collapse).
@@ -128,6 +135,7 @@ func New(cfg Config, neg Negotiator, pads PADFetcher, content ContentFetcher) (*
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	loader.SetVerifier(verify.LoaderVerifier())
 	return &Client{
 		cfg: cfg, neg: neg, pads: pads, content: content, loader: loader,
 		protocolCache: map[string][]core.PADMeta{},
@@ -214,9 +222,7 @@ func (c *Client) degrade(appID string, cause error) ([]core.PADMeta, error) {
 	}
 	pad, err := c.loader.Load(c.cfg.FallbackDirect)
 	if err != nil {
-		c.mu.Lock()
-		c.stats.SecurityRejections++
-		c.mu.Unlock()
+		c.noteSecurityRejection(err)
 		return nil, fmt.Errorf("%w (and fallback module failed security checks: %v)", cause, err)
 	}
 	meta := core.PADMeta{
@@ -237,6 +243,20 @@ func (c *Client) degrade(appID string, cause error) ([]core.PADMeta, error) {
 	return pads, nil
 }
 
+// noteSecurityRejection counts a deploy-pipeline failure. Every failure is
+// a security rejection; ones originating in the static bytecode verifier —
+// good provenance, unprovable safety — are additionally counted as
+// verifier rejections.
+func (c *Client) noteSecurityRejection(err error) {
+	c.mu.Lock()
+	c.stats.SecurityRejections++
+	var vErr *verify.Error
+	if errors.As(err, &vErr) {
+		c.stats.VerifierRejections++
+	}
+	c.mu.Unlock()
+}
+
 // deployPAD downloads, verifies, and deploys one PAD unless it is already
 // live.
 func (c *Client) deployPAD(meta core.PADMeta) error {
@@ -252,9 +272,7 @@ func (c *Client) deployPAD(meta core.PADMeta) error {
 	}
 	pad, err := c.loader.Load(packed)
 	if err != nil {
-		c.mu.Lock()
-		c.stats.SecurityRejections++
-		c.mu.Unlock()
+		c.noteSecurityRejection(err)
 		return fmt.Errorf("client: PAD %s failed security checks: %w", meta.ID, err)
 	}
 	// Bind the downloaded module to the negotiated metadata: the digest

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"fractal/internal/core"
+	"fractal/internal/inp"
+	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
+)
+
+// buildUnverifiableWorld is a directWorld whose served module is signed by
+// a trusted entity but statically unsafe: the decode program calls a host
+// capability outside the sandbox manifest. Provenance checks pass; only
+// the bytecode verifier stands between the call and the sandbox.
+func buildUnverifiableWorld(t *testing.T) *directWorld {
+	t.Helper()
+	signer, err := mobilecode.NewSigner("app-operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := mobilecode.Assemble("CALL identity\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mobilecode.Assemble("CALL backdoor.fetch\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBin, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decBin, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := mobilecode.NewModule("pad-direct", "1.0", mobilecode.Payload{
+		Protocol: "direct",
+		Encode:   encBin,
+		Decode:   decBin,
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := mod.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := mobilecode.NewTrustList()
+	if err := trust.Add(signer.Entity, signer.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	return &directWorld{
+		trust: trust,
+		meta: core.PADMeta{
+			ID: mod.ID, Version: mod.Version, Protocol: "direct",
+			Size: mod.Size(), Digest: mod.Digest, URL: "/pads/" + mod.ID,
+		},
+		packed: packed,
+	}
+}
+
+// TestDeployRejectsUnverifiableModule: a properly signed module whose
+// bytecode cannot be proven safe is refused at deploy time with the
+// verifier's typed error, and the rejection is counted on both security
+// counters.
+func TestDeployRejectsUnverifiableModule(t *testing.T) {
+	w := buildUnverifiableWorld(t)
+	content := funcContent(func(req inp.AppReq) (inp.AppRep, error) {
+		t.Fatal("content fetched through an unverified protocol")
+		return inp.AppRep{}, nil
+	})
+	c, err := New(w.config(), w.negotiator(), w.padStore(), content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Request("webapp", "page")
+	if err == nil {
+		t.Fatal("request succeeded over an unverifiable module")
+	}
+	var vErr *verify.Error
+	if !errors.As(err, &vErr) {
+		t.Fatalf("rejection is not a typed verifier error: %v", err)
+	}
+	if !errors.Is(vErr.Kind, verify.ErrUndeclaredCall) {
+		t.Fatalf("rejection kind = %v, want ErrUndeclaredCall", vErr.Kind)
+	}
+	st := c.Stats()
+	if st.SecurityRejections != 1 || st.VerifierRejections != 1 {
+		t.Fatalf("rejections security=%d verifier=%d, want 1/1", st.SecurityRejections, st.VerifierRejections)
+	}
+	if st.PADDownloads != 0 {
+		t.Fatalf("rejected module counted as downloaded: %d", st.PADDownloads)
+	}
+}

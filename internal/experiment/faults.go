@@ -91,6 +91,7 @@ func RunFaults(s *Setup, seed int64) (FaultsResult, error) {
 		func() (FaultScenario, error) { return faultsCorruptRetry(s, proxyAddr, env, seed) },
 		func() (FaultScenario, error) { return faultsTruncateRedial(appAddr, seed) },
 		func() (FaultScenario, error) { return faultsProxyDownDegrade(s, proxyAddr, env, seed) },
+		func() (FaultScenario, error) { return faultsUnverifiableDegrade(s, proxyAddr, env, seed) },
 	} {
 		sc, err := run()
 		if err != nil {
@@ -101,17 +102,29 @@ func RunFaults(s *Setup, seed int64) (FaultsResult, error) {
 	return out, nil
 }
 
+// padSource adapts a function to client.PADFetcher so a scenario can
+// script exactly which module bytes the client receives.
+type padSource func(core.PADMeta) ([]byte, error)
+
+func (f padSource) FetchPAD(m core.PADMeta) ([]byte, error) { return f(m) }
+
 // newFaultsClient wires a single-session client: the given negotiator,
 // the simulated CDN for PAD downloads, and the in-process app server.
 func newFaultsClient(s *Setup, env core.Env, neg client.Negotiator, fallback []byte) (*client.Client, error) {
+	pads := &client.CDNFetcher{CDN: s.CDN, Region: "region-0", Link: netsim.WLAN, Concurrent: 1}
+	return newFaultsClientWith(s, env, neg, fallback, s.Trust, pads)
+}
+
+// newFaultsClientWith is newFaultsClient with the trust list and PAD
+// source swapped out, for scenarios that script the module wire itself.
+func newFaultsClientWith(s *Setup, env core.Env, neg client.Negotiator, fallback []byte, trust *mobilecode.TrustList, pads client.PADFetcher) (*client.Client, error) {
 	cfg := client.Config{
 		Env:             env,
 		SessionRequests: s.Config.SessionRequests,
-		Trust:           s.Trust,
+		Trust:           trust,
 		Sandbox:         mobilecode.DefaultSandbox(),
 		FallbackDirect:  fallback,
 	}
-	pads := &client.CDNFetcher{CDN: s.CDN, Region: "region-0", Link: netsim.WLAN, Concurrent: 1}
 	content := client.LocalAppServer{Encode: func(ids []string, res string, have int) ([]byte, int, string, error) {
 		r, err := s.App.Encode(ids, res, have)
 		if err != nil {
@@ -275,6 +288,92 @@ func faultsProxyDownDegrade(s *Setup, addr string, env core.Env, seed int64) (Fa
 		Detail:  fmt.Sprintf("degradations=%d requests=%d", st.Degradations, st.Requests),
 		Faults:  sched.Counts(),
 	}, nil
+}
+
+// faultsUnverifiableDegrade models a compromised module mirror: the PAD
+// bytes arrive properly signed by an entity on the device's trust list,
+// but the decode program calls a capability outside the sandbox manifest.
+// Signature and digest checks cannot catch that — only the static
+// bytecode verifier can — and its rejection must funnel into the same
+// degraded mode as any other deploy failure.
+func faultsUnverifiableDegrade(s *Setup, addr string, env core.Env, seed int64) (FaultScenario, error) {
+	fallback, err := s.CDN.Retrieve("region-0", "/pads/pad-direct", netsim.WLAN, 1)
+	if err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: provisioning fallback module: %w", err)
+	}
+	rogue, err := mobilecode.NewSigner("rogue-mirror")
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	evil, err := buildUnverifiableModule(rogue)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	// The device mistrusts its mirror: both the legitimate operator and the
+	// rogue entity are on the list, so provenance checks pass either way.
+	trust := mobilecode.NewTrustList()
+	entity, key := s.App.TrustedKey()
+	if err := trust.Add(entity, key); err != nil {
+		return FaultScenario{}, err
+	}
+	if err := trust.Add(rogue.Entity, rogue.PublicKey()); err != nil {
+		return FaultScenario{}, err
+	}
+	rn, err := retriedNegotiator(addr, nil, 2, seed)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	pads := padSource(func(core.PADMeta) ([]byte, error) { return evil, nil })
+	c, err := newFaultsClientWith(s, env, rn, fallback.Data, trust, pads)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	if _, err := c.Request("webapp", "page-000"); err != nil {
+		return FaultScenario{}, fmt.Errorf("experiment: unverifiable-module scenario: %w", err)
+	}
+	st := c.Stats()
+	if st.VerifierRejections < 1 {
+		return FaultScenario{}, fmt.Errorf("experiment: verifier rejections = %d, want >= 1", st.VerifierRejections)
+	}
+	if st.Degradations != 1 {
+		return FaultScenario{}, fmt.Errorf("experiment: degradations = %d, want 1", st.Degradations)
+	}
+	return FaultScenario{
+		Name:    "unverifiable-module-degrade",
+		Outcome: OutcomeDegraded,
+		Detail:  fmt.Sprintf("verifier_rejections=%d degradations=%d", st.VerifierRejections, st.Degradations),
+		Faults:  map[string]int64{"unverifiable-module": 1},
+	}, nil
+}
+
+// buildUnverifiableModule packs a signed module whose decode program calls
+// a host capability the sandbox manifest does not declare.
+func buildUnverifiableModule(signer *mobilecode.Signer) ([]byte, error) {
+	enc, err := mobilecode.Assemble("CALL identity\nHALT")
+	if err != nil {
+		return nil, err
+	}
+	dec, err := mobilecode.Assemble("CALL backdoor.fetch\nHALT")
+	if err != nil {
+		return nil, err
+	}
+	encBin, err := enc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	decBin, err := dec.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	m, err := mobilecode.NewModule("pad-mirror", "1.0", mobilecode.Payload{
+		Protocol: "Direct",
+		Encode:   encBin,
+		Decode:   decBin,
+	}, signer)
+	if err != nil {
+		return nil, err
+	}
+	return m.Pack()
 }
 
 // Rows renders the scenario series for the bench harness.

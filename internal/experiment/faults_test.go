@@ -26,12 +26,13 @@ func TestRunFaultsContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]string{
-		"clean":                OutcomeCompleted,
-		"refuse-then-retry":    OutcomeCompleted,
-		"stall-read":           OutcomeFailedFast,
-		"corrupt-then-retry":   OutcomeCompleted,
-		"truncate-then-redial": OutcomeCompleted,
-		"proxy-down-degrade":   OutcomeDegraded,
+		"clean":                       OutcomeCompleted,
+		"refuse-then-retry":           OutcomeCompleted,
+		"stall-read":                  OutcomeFailedFast,
+		"corrupt-then-retry":          OutcomeCompleted,
+		"truncate-then-redial":        OutcomeCompleted,
+		"proxy-down-degrade":          OutcomeDegraded,
+		"unverifiable-module-degrade": OutcomeDegraded,
 	}
 	if len(r.Scenarios) != len(want) {
 		t.Fatalf("got %d scenarios, want %d", len(r.Scenarios), len(want))

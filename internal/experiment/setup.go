@@ -111,14 +111,23 @@ func NewSetup(cfg SetupConfig) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := px.PushAppMeta(appMeta); err != nil {
-		return nil, err
-	}
 	topo, err := cdn.DefaultTopology(cfg.Edges)
 	if err != nil {
 		return nil, err
 	}
 	if err := app.PublishPADs(topo.Origin()); err != nil {
+		return nil, err
+	}
+	// Arm the proxy's registration gate before any topology is pushed: the
+	// proxy fetches every referenced module from the origin (modules are
+	// published above, so the fetch resolves) and statically verifies its
+	// bytecode, so a malformed module never enters the PAT.
+	origin := topo.Origin()
+	fetch := func(m core.PADMeta) ([]byte, error) { return origin.Get(m.URL) }
+	if err := px.SetModuleSource(fetch, mobilecode.DefaultSandbox()); err != nil {
+		return nil, err
+	}
+	if err := px.PushAppMeta(appMeta); err != nil {
 		return nil, err
 	}
 	trust := mobilecode.NewTrustList()

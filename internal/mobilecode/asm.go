@@ -26,6 +26,7 @@ func Assemble(src string) (Program, error) {
 	}
 	var prog Program
 	labels := map[string]int{}
+	labelLines := map[string]int{}
 	var fixups []pending
 
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -43,9 +44,10 @@ func Assemble(src string) (Program, error) {
 				return nil, fmt.Errorf("mobilecode: line %d: malformed label %q", lineNo+1, raw)
 			}
 			if _, dup := labels[name]; dup {
-				return nil, fmt.Errorf("mobilecode: line %d: duplicate label %q", lineNo+1, name)
+				return nil, fmt.Errorf("mobilecode: line %d: duplicate label %q (first defined at line %d)", lineNo+1, name, labelLines[name])
 			}
 			labels[name] = len(prog)
+			labelLines[name] = lineNo + 1
 			continue
 		}
 		fields := strings.Fields(line)
@@ -93,12 +95,20 @@ func Assemble(src string) (Program, error) {
 		}
 		prog = append(prog, in)
 	}
+	// Resolve all fixups before reporting, so a source with several broken
+	// jumps surfaces every undefined label (with its use line) in one pass
+	// instead of one per assemble attempt.
+	var unresolved []string
 	for _, f := range fixups {
 		target, ok := labels[f.label]
 		if !ok {
-			return nil, fmt.Errorf("mobilecode: line %d: undefined label %q", f.line, f.label)
+			unresolved = append(unresolved, fmt.Sprintf("line %d: undefined label %q", f.line, f.label))
+			continue
 		}
 		prog[f.instr].Arg = int64(target)
+	}
+	if len(unresolved) > 0 {
+		return nil, fmt.Errorf("mobilecode: %s", strings.Join(unresolved, "; "))
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err

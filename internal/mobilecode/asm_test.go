@@ -1,0 +1,62 @@
+package mobilecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleDuplicateLabelNamesBothLines(t *testing.T) {
+	src := "top:\nPUSH 1\ntop:\nHALT"
+	_, err := Assemble(src)
+	if err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") || !strings.Contains(msg, `duplicate label "top"`) {
+		t.Fatalf("error does not locate the redefinition: %v", err)
+	}
+	if !strings.Contains(msg, "first defined at line 1") {
+		t.Fatalf("error does not locate the first definition: %v", err)
+	}
+}
+
+func TestAssembleReportsEveryUnresolvedFixup(t *testing.T) {
+	src := "JMP missing1\nJZ missing2\nJMP missing1\nHALT"
+	_, err := Assemble(src)
+	if err == nil {
+		t.Fatal("unresolved labels accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`line 1: undefined label "missing1"`,
+		`line 2: undefined label "missing2"`,
+		`line 3: undefined label "missing1"`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q is missing %q", msg, want)
+		}
+	}
+}
+
+func TestAssembleRoundTripWithLabels(t *testing.T) {
+	src := `
+		PUSH 0
+		JZ done
+		CALL identity
+	done:
+		HALT`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(p[1].Arg); got != 3 {
+		t.Fatalf("JZ resolved to %d, want 3", got)
+	}
+	again, err := Assemble(Disassemble(p))
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v", err)
+	}
+	if len(again) != len(p) {
+		t.Fatalf("round trip changed length: %d != %d", len(again), len(p))
+	}
+}

@@ -121,16 +121,16 @@ func HostTableWithCache(params map[string]string) ([]HostFunc, *codec.ChunkCache
 	}
 
 	return []HostFunc{
-		{Name: "identity", Arity: 1, Fn: one(func(b []byte) ([]byte, error) {
+		{Name: "identity", Arity: 1, Results: 1, Fn: one(func(b []byte) ([]byte, error) {
 			return append([]byte(nil), b...), nil
 		})},
-		{Name: "gzip.encode", Arity: 1, Fn: one(func(b []byte) ([]byte, error) { return gz.Encode(nil, b) })},
-		{Name: "gzip.decode", Arity: 1, Fn: one(func(b []byte) ([]byte, error) { return gz.Decode(nil, b) })},
-		{Name: "bitmap.encode", Arity: 2, Fn: two(bm.Encode)},
-		{Name: "bitmap.decode", Arity: 2, Fn: two(bm.Decode)},
-		{Name: "vary.encode", Arity: 2, Fn: two(vb.Encode)},
-		{Name: "vary.decode", Arity: 2, Fn: two(vb.Decode)},
-		{Name: "rsync.encode", Arity: 2, Fn: two(rs.Encode)},
-		{Name: "rsync.decode", Arity: 2, Fn: two(rs.Decode)},
+		{Name: "gzip.encode", Arity: 1, Results: 1, Fn: one(func(b []byte) ([]byte, error) { return gz.Encode(nil, b) })},
+		{Name: "gzip.decode", Arity: 1, Results: 1, Fn: one(func(b []byte) ([]byte, error) { return gz.Decode(nil, b) })},
+		{Name: "bitmap.encode", Arity: 2, Results: 1, Fn: two(bm.Encode)},
+		{Name: "bitmap.decode", Arity: 2, Results: 1, Fn: two(bm.Decode)},
+		{Name: "vary.encode", Arity: 2, Results: 1, Fn: two(vb.Encode)},
+		{Name: "vary.decode", Arity: 2, Results: 1, Fn: two(vb.Decode)},
+		{Name: "rsync.encode", Arity: 2, Results: 1, Fn: two(rs.Encode)},
+		{Name: "rsync.decode", Arity: 2, Results: 1, Fn: two(rs.Decode)},
 	}, cache, nil
 }

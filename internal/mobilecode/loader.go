@@ -15,7 +15,18 @@ import (
 type Loader struct {
 	trust   *TrustList
 	sandbox Sandbox
+	verify  VerifyFunc
 }
+
+// VerifyFunc is a static bytecode verifier run by Load on each program of
+// a module after the digest and signature checks succeed and before the
+// sandboxed VM is instantiated. role is "encode" or "decode"; hosts is the
+// capability set the program will execute against. A non-nil error rejects
+// the module — a verifier rejection is a security failure, exactly like a
+// bad signature. internal/mobilecode/verify provides the implementation;
+// the indirection keeps this package free of a dependency on its own
+// subpackage.
+type VerifyFunc func(role string, p Program, hosts []HostFunc, sb Sandbox) error
 
 // NewLoader builds a loader. A nil trust list refuses every module.
 func NewLoader(trust *TrustList, sb Sandbox) (*Loader, error) {
@@ -24,6 +35,12 @@ func NewLoader(trust *TrustList, sb Sandbox) (*Loader, error) {
 	}
 	return &Loader{trust: trust, sandbox: sb}, nil
 }
+
+// SetVerifier installs a static bytecode verifier into the deployment
+// pipeline. Production deploy paths (client hosts, the appserver's
+// VM-composition fallback) install verify.LoaderVerifier(); a nil verifier
+// restores the historical digest+signature-only pipeline.
+func (l *Loader) SetVerifier(v VerifyFunc) { l.verify = v }
 
 // DeployedPAD is an instantiated protocol adaptor: verified mobile code
 // ready to encode/decode application content on this host. It is safe for
@@ -64,6 +81,14 @@ func (l *Loader) Load(packed []byte) (*DeployedPAD, error) {
 	hosts, chunks, err := HostTableWithCache(p.Params)
 	if err != nil {
 		return nil, fmt.Errorf("mobilecode: PAD %s: %w", m.ID, err)
+	}
+	if l.verify != nil {
+		if err := l.verify("encode", enc, hosts, l.sandbox); err != nil {
+			return nil, fmt.Errorf("mobilecode: PAD %s encode program: %w", m.ID, err)
+		}
+		if err := l.verify("decode", dec, hosts, l.sandbox); err != nil {
+			return nil, fmt.Errorf("mobilecode: PAD %s decode program: %w", m.ID, err)
+		}
 	}
 	vm, err := NewVM(hosts, l.sandbox)
 	if err != nil {

@@ -1,0 +1,346 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"fractal/internal/mobilecode"
+)
+
+// deployCfg is the standard test policy: the full builtin host table, a
+// small sandbox, and the PAD calling convention.
+func deployCfg(t *testing.T, sb mobilecode.Sandbox) Config {
+	t.Helper()
+	hosts, err := mobilecode.HostTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DeployConfig(hosts, sb)
+}
+
+func smallSandbox() mobilecode.Sandbox {
+	return mobilecode.Sandbox{MaxInstructions: 1 << 12, MaxBufferBytes: 1 << 20, MaxStackDepth: 8}
+}
+
+func TestBuiltinModulesVerify(t *testing.T) {
+	signer, err := mobilecode.NewSigner("test-op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := mobilecode.BuiltinSpecs()
+	specs = append(specs, mobilecode.RsyncSpec(), mobilecode.CascadeSpec())
+	specs = append(specs, mobilecode.TranscoderSpecs()...)
+	for _, spec := range specs {
+		m, err := mobilecode.BuildModule(spec, "1.0", signer)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		rep, err := Module(m, mobilecode.DefaultSandbox())
+		if err != nil {
+			t.Fatalf("%s: builtin PAD rejected: %v", spec.ID, err)
+		}
+		for role, r := range map[string]*Report{"encode": rep.Encode, "decode": rep.Decode} {
+			if !r.ExactCost {
+				t.Errorf("%s %s: straight-line builtin did not get an exact cost", spec.ID, role)
+			}
+			if len(r.Calls) == 0 {
+				t.Errorf("%s %s: no host calls resolved", spec.ID, role)
+			}
+			if r.Loops {
+				t.Errorf("%s %s: builtin reported loops", spec.ID, role)
+			}
+		}
+	}
+}
+
+func TestCraftedBadProgramsRejectedWithTypedErrors(t *testing.T) {
+	I := func(op mobilecode.Op, arg int64) mobilecode.Instr { return mobilecode.Instr{Op: op, Arg: arg} }
+	cases := []struct {
+		name   string
+		prog   mobilecode.Program
+		cfg    func(Config) Config
+		kind   error
+		wantPC int
+	}{
+		{
+			name:   "int underflow",
+			prog:   mobilecode.Program{I(mobilecode.OpPop, 0), I(mobilecode.OpHalt, 0)},
+			kind:   ErrIntUnderflow,
+			wantPC: 0,
+		},
+		{
+			name: "int underflow on a join path",
+			// Only the fall-through path pushes before EQ pops twice.
+			prog: mobilecode.Program{
+				I(mobilecode.OpPush, 1),
+				I(mobilecode.OpJz, 4),
+				I(mobilecode.OpPush, 2),
+				I(mobilecode.OpPush, 3),
+				I(mobilecode.OpEq, 0),
+				I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrIntUnderflow,
+			wantPC: 4,
+		},
+		{
+			name: "buffer underflow",
+			prog: mobilecode.Program{
+				I(mobilecode.OpDropB, 0), I(mobilecode.OpDropB, 0),
+				I(mobilecode.OpDropB, 0), I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrBufUnderflow,
+			wantPC: 2,
+		},
+		{
+			name: "undeclared CALL",
+			prog: mobilecode.Program{
+				{Op: mobilecode.OpCall, Sym: "evil.exfiltrate"},
+				I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrUndeclaredCall,
+			wantPC: 0,
+		},
+		{
+			name: "dead code",
+			prog: mobilecode.Program{
+				I(mobilecode.OpJmp, 2),
+				I(mobilecode.OpNop, 0),
+				I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrDeadCode,
+			wantPC: 1,
+		},
+		{
+			name: "unbounded loop",
+			// The cycle 0-1-2 escapes through JZ at 1, but the edge that
+			// closes it (2 -> 0) is unconditional.
+			prog: mobilecode.Program{
+				I(mobilecode.OpPush, 1),
+				I(mobilecode.OpJz, 3),
+				I(mobilecode.OpJmp, 0),
+				I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrUnboundedLoop,
+			wantPC: 2,
+		},
+		{
+			name: "no reachable HALT",
+			prog: mobilecode.Program{
+				I(mobilecode.OpJmp, 1),
+				I(mobilecode.OpJmp, 0),
+			},
+			kind:   ErrNoHalt,
+			wantPC: 0,
+		},
+		{
+			name:   "falls off the end",
+			prog:   mobilecode.Program{I(mobilecode.OpNop, 0)},
+			kind:   ErrFallsOff,
+			wantPC: 0,
+		},
+		{
+			name: "halts without a result",
+			prog: mobilecode.Program{
+				I(mobilecode.OpDropB, 0), I(mobilecode.OpDropB, 0), I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrNoResult,
+			wantPC: 2,
+		},
+		{
+			name: "stack depth",
+			prog: mobilecode.Program{
+				I(mobilecode.OpDupB, 0), I(mobilecode.OpDupB, 0), I(mobilecode.OpDupB, 0),
+				I(mobilecode.OpDupB, 0), I(mobilecode.OpDupB, 0), I(mobilecode.OpDupB, 0),
+				I(mobilecode.OpDupB, 0), I(mobilecode.OpHalt, 0),
+			},
+			kind:   ErrStackDepth,
+			wantPC: 6,
+		},
+		{
+			name: "cost over budget",
+			prog: mobilecode.Program{
+				I(mobilecode.OpNop, 0), I(mobilecode.OpNop, 0), I(mobilecode.OpNop, 0),
+				I(mobilecode.OpNop, 0), I(mobilecode.OpHalt, 0),
+			},
+			cfg: func(c Config) Config {
+				c.Sandbox.MaxInstructions = 4
+				return c
+			},
+			kind:   ErrCost,
+			wantPC: 0,
+		},
+		{
+			name: "loop under a loop-free policy",
+			prog: mobilecode.Program{
+				I(mobilecode.OpPush, 1),
+				I(mobilecode.OpJz, 0),
+				I(mobilecode.OpHalt, 0),
+			},
+			cfg: func(c Config) Config {
+				c.AllowLoops = false
+				return c
+			},
+			kind:   ErrLoop,
+			wantPC: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := deployCfg(t, smallSandbox())
+			if tc.cfg != nil {
+				cfg = tc.cfg(cfg)
+			}
+			_, err := Program(tc.prog, cfg)
+			if err == nil {
+				t.Fatal("verifier accepted the program")
+			}
+			var verr *Error
+			if !errors.As(err, &verr) {
+				t.Fatalf("rejection is not a *verify.Error: %v", err)
+			}
+			if !errors.Is(err, tc.kind) {
+				t.Fatalf("kind = %v, want %v (full: %v)", verr.Kind, tc.kind, err)
+			}
+			if verr.PC != tc.wantPC {
+				t.Fatalf("rejection names instruction %d, want %d (full: %v)", verr.PC, tc.wantPC, err)
+			}
+			if verr.PC >= 0 && verr.Op != tc.prog[verr.PC].Op {
+				t.Fatalf("rejection names op %s, instruction %d is %s", verr.Op, verr.PC, tc.prog[verr.PC].Op)
+			}
+		})
+	}
+}
+
+func TestGuardedLoopAcceptedAndRuns(t *testing.T) {
+	cfg := deployCfg(t, smallSandbox())
+	// A cycle closed by a conditional jump: the verifier accepts it and
+	// falls back to the sandbox budget as the cost bound.
+	cyclic, err := mobilecode.Assemble(`
+		PUSH 4
+	loop:
+		DUPB
+		DROPB
+		PUSH 0
+		JZ loop     ; always taken at run time: spins until the budget
+		HALT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Program(cyclic, cfg)
+	if err != nil {
+		t.Fatalf("conditionally closed cycle rejected: %v", err)
+	}
+	if !rep2.Loops || rep2.ExactCost {
+		t.Fatalf("cycle not detected: %+v", rep2)
+	}
+	if rep2.MaxCost != cfg.Sandbox.MaxInstructions {
+		t.Fatalf("cyclic cost bound = %d, want the sandbox budget %d", rep2.MaxCost, cfg.Sandbox.MaxInstructions)
+	}
+	// The VM's budget is the back-edge check the verifier relied on: the
+	// program spins but fails with budget exhaustion, not a static fault.
+	hosts, err := mobilecode.HostTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := mobilecode.NewVM(hosts, smallSandbox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = vm.Run(cyclic, [][]byte{[]byte("old"), []byte("cur")})
+	if !errors.Is(err, mobilecode.ErrInstructionBudget) {
+		t.Fatalf("spinning program failed with %v, want the instruction budget", err)
+	}
+}
+
+func TestReportBoundsMatchStraightLine(t *testing.T) {
+	p, err := mobilecode.Assemble(`
+		CALL vary.encode
+		CALL gzip.encode
+		HALT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Program(p, deployCfg(t, smallSandbox()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxCost != 3 || !rep.ExactCost {
+		t.Fatalf("cost = %d (exact %v), want exactly 3", rep.MaxCost, rep.ExactCost)
+	}
+	if rep.MaxBufDepth != 2 {
+		t.Fatalf("buffer depth bound = %d, want 2", rep.MaxBufDepth)
+	}
+	if len(rep.Calls) != 2 {
+		t.Fatalf("calls = %v, want the two primitives", rep.Calls)
+	}
+}
+
+func TestCapsForHostsExcludesUndeclaredResults(t *testing.T) {
+	caps := CapsForHosts([]mobilecode.HostFunc{
+		{Name: "declared", Arity: 1, Results: 1},
+		{Name: "legacy", Arity: 1}, // undeclared result count
+	})
+	if _, ok := caps["declared"]; !ok {
+		t.Fatal("declared host missing from the capability set")
+	}
+	if _, ok := caps["legacy"]; ok {
+		t.Fatal("host with undeclared results must be uncallable")
+	}
+}
+
+func TestLoaderVerifierGatesDeployment(t *testing.T) {
+	signer, err := mobilecode.NewSigner("test-op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A properly signed module whose decode program calls outside the
+	// manifest: provenance fine, safety not.
+	enc, err := mobilecode.Assemble("CALL identity\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mobilecode.Assemble("CALL backdoor.fetch\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBin, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decBin, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mobilecode.NewModule("pad-evil", "1.0", mobilecode.Payload{
+		Protocol: "direct", Encode: encBin, Decode: decBin,
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := mobilecode.NewTrustList()
+	if err := trust.Add(signer.Entity, signer.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := mobilecode.NewLoader(trust, mobilecode.DefaultSandbox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the verifier the historical pipeline accepts it (the fault
+	// would only surface at run time).
+	if _, err := loader.Load(packed); err != nil {
+		t.Fatalf("digest+signature pipeline rejected the module: %v", err)
+	}
+	loader.SetVerifier(LoaderVerifier())
+	_, err = loader.Load(packed)
+	if err == nil {
+		t.Fatal("verifier-armed loader deployed a module with an undeclared CALL")
+	}
+	var verr *Error
+	if !errors.As(err, &verr) || !errors.Is(err, ErrUndeclaredCall) {
+		t.Fatalf("rejection not typed as an undeclared call: %v", err)
+	}
+}

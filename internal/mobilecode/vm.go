@@ -162,10 +162,17 @@ func UnmarshalProgram(data []byte) (Program, error) {
 
 // HostFunc is a primitive callable from PAD programs. It pops `Arity`
 // buffers (topmost last in the slice) and its results are pushed in order.
+// Results declares how many buffers a successful call pushes; the static
+// verifier uses it to bound the buffer stack, and the VM enforces the
+// declaration at run time when it is set.
 type HostFunc struct {
 	Name  string
 	Arity int
-	Fn    func(args [][]byte) ([][]byte, error)
+	// Results is the declared number of result buffers. Zero means
+	// undeclared for compatibility with hand-built tables; declared tables
+	// (HostTable) always fill it in.
+	Results int
+	Fn      func(args [][]byte) ([][]byte, error)
 }
 
 // Sandbox bounds a PAD execution, the paper's VMM/sandbox mechanism. The
@@ -204,7 +211,7 @@ func NewVM(hosts []HostFunc, sb Sandbox) (*VM, error) {
 	}
 	m := map[string]HostFunc{}
 	for _, h := range hosts {
-		if h.Name == "" || h.Fn == nil || h.Arity < 0 {
+		if h.Name == "" || h.Fn == nil || h.Arity < 0 || h.Results < 0 {
 			return nil, fmt.Errorf("mobilecode: malformed host function %q", h.Name)
 		}
 		if _, dup := m[h.Name]; dup {
@@ -237,6 +244,18 @@ var (
 	ErrStackDepth        = errors.New("stack depth limit exceeded")
 )
 
+// Static-class faults: failures a sound bytecode verifier proves absent
+// before deployment (see internal/mobilecode/verify). They are sentinels,
+// matchable with errors.Is, so the verifier's differential fuzz harness
+// can pin the soundness contract "verifier-accepted programs never trip
+// one of these at run time".
+var (
+	ErrIntUnderflow = errors.New("int stack underflow")
+	ErrBufUnderflow = errors.New("buffer stack underflow")
+	ErrUnknownHost  = errors.New("unknown host function")
+	ErrPCRange      = errors.New("program counter out of range (missing HALT?)")
+)
+
 // Run executes the program with the given initial buffer stack and returns
 // the final buffer stack. The input slices are not modified.
 func (v *VM) Run(p Program, inputs [][]byte) ([][]byte, error) {
@@ -252,7 +271,7 @@ func (v *VM) Run(p Program, inputs [][]byte) ([][]byte, error) {
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(p) {
-			return nil, &RunError{PC: pc, Op: OpNop, Err: errors.New("program counter out of range (missing HALT?)")}
+			return nil, &RunError{PC: pc, Op: OpNop, Err: ErrPCRange}
 		}
 		st.steps++
 		if st.steps > v.sandbox.MaxInstructions {
@@ -368,7 +387,7 @@ func (s *state) pushB(b []byte) error {
 
 func (s *state) popB() ([]byte, error) {
 	if len(s.bufs) == 0 {
-		return nil, errors.New("buffer stack underflow")
+		return nil, ErrBufUnderflow
 	}
 	b := s.bufs[len(s.bufs)-1]
 	s.bufs = s.bufs[:len(s.bufs)-1]
@@ -378,14 +397,14 @@ func (s *state) popB() ([]byte, error) {
 
 func (s *state) peekB() ([]byte, error) {
 	if len(s.bufs) == 0 {
-		return nil, errors.New("buffer stack underflow")
+		return nil, ErrBufUnderflow
 	}
 	return s.bufs[len(s.bufs)-1], nil
 }
 
 func (s *state) swapB() error {
 	if len(s.bufs) < 2 {
-		return errors.New("buffer stack underflow")
+		return ErrBufUnderflow
 	}
 	n := len(s.bufs)
 	s.bufs[n-1], s.bufs[n-2] = s.bufs[n-2], s.bufs[n-1]
@@ -402,7 +421,7 @@ func (s *state) pushI(v int64) error {
 
 func (s *state) popI() (int64, error) {
 	if len(s.ints) == 0 {
-		return 0, errors.New("int stack underflow")
+		return 0, ErrIntUnderflow
 	}
 	v := s.ints[len(s.ints)-1]
 	s.ints = s.ints[:len(s.ints)-1]
@@ -412,7 +431,7 @@ func (s *state) popI() (int64, error) {
 func (s *state) call(sym string) error {
 	h, ok := s.vm.hosts[sym]
 	if !ok {
-		return fmt.Errorf("unknown host function %q", sym)
+		return fmt.Errorf("%w %q", ErrUnknownHost, sym)
 	}
 	args := make([][]byte, h.Arity)
 	for i := h.Arity - 1; i >= 0; i-- {
@@ -425,6 +444,12 @@ func (s *state) call(sym string) error {
 	results, err := h.Fn(args)
 	if err != nil {
 		return fmt.Errorf("call %q: %w", sym, err)
+	}
+	// A declared result count is a contract the verifier's stack-height
+	// proof depends on; a primitive that violates it is a host-table bug,
+	// not a program fault, and must not silently skew the buffer stack.
+	if h.Results > 0 && len(results) != h.Results {
+		return fmt.Errorf("call %q: host returned %d buffers, declared %d", sym, len(results), h.Results)
 	}
 	for _, r := range results {
 		if err := s.pushB(r); err != nil {

@@ -1,0 +1,136 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fractal/internal/core"
+	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
+)
+
+// gateModule assembles, signs, and packs a module with the given program
+// sources.
+func gateModule(t *testing.T, id, encodeSrc, decodeSrc string) (*mobilecode.Module, []byte) {
+	t.Helper()
+	signer, err := mobilecode.NewSigner("gate-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := mobilecode.Assemble(encodeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mobilecode.Assemble(decodeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBin, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decBin, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mobilecode.NewModule(id, "1.0", mobilecode.Payload{
+		Protocol: "direct",
+		Encode:   encBin,
+		Decode:   decBin,
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, packed
+}
+
+// gateApp advertises one PAD whose metadata binds the given module.
+func gateApp(m *mobilecode.Module) core.AppMeta {
+	return core.AppMeta{
+		AppID: "gated",
+		PADs: []core.PADMeta{{
+			ID: m.ID, Protocol: "direct", Size: 4096,
+			Digest: m.Digest, URL: "/pads/" + m.ID,
+		}},
+	}
+}
+
+// TestPushAppMetaGateAcceptsVerifiableModule: with a module source armed,
+// a topology whose module proves safe registers normally.
+func TestPushAppMetaGateAcceptsVerifiableModule(t *testing.T) {
+	p, err := New(testModel(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, packed := gateModule(t, "pad-good", "CALL identity\nHALT", "CALL identity\nHALT")
+	fetch := func(meta core.PADMeta) ([]byte, error) {
+		if meta.ID != m.ID {
+			return nil, fmt.Errorf("unexpected module fetch %s", meta.ID)
+		}
+		return packed, nil
+	}
+	if err := p.SetModuleSource(fetch, mobilecode.DefaultSandbox()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushAppMeta(gateApp(m)); err != nil {
+		t.Fatalf("verifiable topology rejected: %v", err)
+	}
+	if got := p.Stats().VerifierRejections; got != 0 {
+		t.Fatalf("VerifierRejections = %d, want 0", got)
+	}
+}
+
+// TestPushAppMetaGateRejectsUnverifiableModule: a module whose program
+// calls an undeclared capability never enters the PAT, and the rejection
+// is counted.
+func TestPushAppMetaGateRejectsUnverifiableModule(t *testing.T) {
+	p, err := New(testModel(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, packed := gateModule(t, "pad-evil", "CALL identity\nHALT", "CALL backdoor.fetch\nHALT")
+	if err := p.SetModuleSource(func(core.PADMeta) ([]byte, error) { return packed, nil }, mobilecode.DefaultSandbox()); err != nil {
+		t.Fatal(err)
+	}
+	err = p.PushAppMeta(gateApp(m))
+	if err == nil {
+		t.Fatal("unverifiable topology accepted")
+	}
+	var vErr *verify.Error
+	if !errors.As(err, &vErr) {
+		t.Fatalf("rejection is not a typed verifier error: %v", err)
+	}
+	if got := p.Stats().VerifierRejections; got != 1 {
+		t.Fatalf("VerifierRejections = %d, want 1", got)
+	}
+	if _, err := p.Negotiate("gated", desktopEnv(), 75); err == nil {
+		t.Fatal("rejected topology is negotiable")
+	}
+}
+
+// TestPushAppMetaGateRejectsDigestMismatch: serving different bytes than
+// the advertised digest fails registration before the verifier runs.
+func TestPushAppMetaGateRejectsDigestMismatch(t *testing.T) {
+	p, err := New(testModel(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := gateModule(t, "pad-good", "CALL identity\nHALT", "CALL identity\nHALT")
+	_, otherPacked := gateModule(t, "pad-good", "CALL gzip.encode\nHALT", "CALL gzip.decode\nHALT")
+	if err := p.SetModuleSource(func(core.PADMeta) ([]byte, error) { return otherPacked, nil }, mobilecode.DefaultSandbox()); err != nil {
+		t.Fatal(err)
+	}
+	err = p.PushAppMeta(gateApp(m))
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("digest mismatch not reported: %v", err)
+	}
+	if got := p.Stats().VerifierRejections; got != 0 {
+		t.Fatalf("digest mismatch counted as verifier rejection: %d", got)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 
 	"fractal/internal/core"
+	"fractal/internal/mobilecode"
+	"fractal/internal/mobilecode/verify"
 	"fractal/internal/syncx"
 )
 
@@ -92,6 +94,10 @@ type Stats struct {
 	CollapsedSearches int64
 	// TotalSearchNanos accumulates time spent in cache-miss searches.
 	TotalSearchNanos int64
+	// VerifierRejections counts topology pushes refused because the static
+	// bytecode verifier rejected a referenced PAD module (only gated pushes
+	// — see SetModuleSource — can increment it).
+	VerifierRejections int64
 }
 
 // Proxy couples the negotiation manager with the distribution manager's
@@ -108,13 +114,24 @@ type Proxy struct {
 	authzMu sync.RWMutex
 	authz   Authorizer
 
-	negotiations      atomic.Int64
-	cacheHits         atomic.Int64
-	topologyPushes    atomic.Int64
-	searches          atomic.Int64
-	collapsedSearches atomic.Int64
-	searchNanos       atomic.Int64
+	srcMu         sync.RWMutex
+	moduleSrc     ModuleSourceFunc
+	verifySandbox mobilecode.Sandbox
+
+	negotiations       atomic.Int64
+	cacheHits          atomic.Int64
+	topologyPushes     atomic.Int64
+	searches           atomic.Int64
+	collapsedSearches  atomic.Int64
+	searchNanos        atomic.Int64
+	verifierRejections atomic.Int64
 }
+
+// ModuleSourceFunc retrieves the packed module bytes behind a PADMeta —
+// typically the CDN origin the application server publishes to. Installed
+// with SetModuleSource to gate topology registration on bytecode
+// verification.
+type ModuleSourceFunc func(meta core.PADMeta) ([]byte, error)
 
 // New builds a proxy with the given overhead model and adaptation-cache
 // capacity.
@@ -130,9 +147,61 @@ func New(model core.OverheadModel, cacheCapacity int) (*Proxy, error) {
 	return &Proxy{nm: nm, cache: cache}, nil
 }
 
+// SetModuleSource arms the registration gate: every subsequent PushAppMeta
+// fetches each referenced PAD's packed module through fetch, checks it
+// against the advertised digest, and runs the static bytecode verifier on
+// its programs under sb before any metadata may enter the PAT. A nil fetch
+// disarms the gate (metadata-only pushes, the historical behaviour, for
+// deployments where the proxy cannot reach the module store).
+func (p *Proxy) SetModuleSource(fetch ModuleSourceFunc, sb mobilecode.Sandbox) error {
+	if fetch != nil {
+		if err := sb.Validate(); err != nil {
+			return fmt.Errorf("proxy: module source sandbox: %w", err)
+		}
+	}
+	p.srcMu.Lock()
+	p.moduleSrc = fetch
+	p.verifySandbox = sb
+	p.srcMu.Unlock()
+	return nil
+}
+
+// verifyModules is the armed registration gate: malformed modules never
+// enter the PAT.
+func (p *Proxy) verifyModules(app core.AppMeta) error {
+	p.srcMu.RLock()
+	fetch, sb := p.moduleSrc, p.verifySandbox
+	p.srcMu.RUnlock()
+	if fetch == nil {
+		return nil
+	}
+	for _, meta := range app.PADs {
+		packed, err := fetch(meta)
+		if err != nil {
+			return fmt.Errorf("proxy: app %s: fetching module for PAD %s: %w", app.AppID, meta.ID, err)
+		}
+		m, err := mobilecode.Unpack(packed)
+		if err != nil {
+			return fmt.Errorf("proxy: app %s: PAD %s: %w", app.AppID, meta.ID, err)
+		}
+		if !mobilecode.DigestEqual(m.Digest, meta.Digest) {
+			return fmt.Errorf("proxy: app %s: PAD %s module digest does not match advertised metadata", app.AppID, meta.ID)
+		}
+		if _, err := verify.Module(m, sb); err != nil {
+			p.verifierRejections.Add(1)
+			return fmt.Errorf("proxy: app %s: rejecting topology: %w", app.AppID, err)
+		}
+	}
+	return nil
+}
+
 // PushAppMeta installs a topology and invalidates cached negotiations for
-// that application.
+// that application. With a module source installed (SetModuleSource), every
+// referenced PAD module is fetched and statically verified first.
 func (p *Proxy) PushAppMeta(app core.AppMeta) error {
+	if err := p.verifyModules(app); err != nil {
+		return err
+	}
 	if err := p.nm.PushAppMeta(app); err != nil {
 		return err
 	}
@@ -167,12 +236,13 @@ func prepareForClient(pads []core.PADMeta) []core.PADMeta {
 // Stats returns a snapshot of the proxy counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Negotiations:      p.negotiations.Load(),
-		CacheHits:         p.cacheHits.Load(),
-		TopologyPushes:    p.topologyPushes.Load(),
-		Searches:          p.searches.Load(),
-		CollapsedSearches: p.collapsedSearches.Load(),
-		TotalSearchNanos:  p.searchNanos.Load(),
+		Negotiations:       p.negotiations.Load(),
+		CacheHits:          p.cacheHits.Load(),
+		TopologyPushes:     p.topologyPushes.Load(),
+		Searches:           p.searches.Load(),
+		CollapsedSearches:  p.collapsedSearches.Load(),
+		TotalSearchNanos:   p.searchNanos.Load(),
+		VerifierRejections: p.verifierRejections.Load(),
 	}
 }
 
