@@ -1,12 +1,15 @@
 // Command fractal-vet runs the repo-specific static-analysis suite over
 // the module: determinism (simtime, rawrand), error-handling (errdiscard),
 // VM instruction-set completeness (opcomplete), digest-comparison hygiene
-// (digestsafe), and conn-deadline safety (deadline). See internal/analysis
-// for the invariants and the //fractal:allow annotation syntax.
+// (digestsafe), conn-deadline safety (deadline), and the flow-sensitive
+// checks built on the CFG/dataflow engine — lock discipline (lockheld),
+// wire-length allocation taint (wiretaint), and hot-path allocation
+// hygiene (hotpath). See internal/analysis for the invariants and the
+// //fractal:allow annotation syntax.
 //
 // Usage:
 //
-//	fractal-vet [-json] [-enable a,b] [-disable c] [packages]
+//	fractal-vet [-json|-sarif] [-enable a,b] [-disable c] [packages]
 //	fractal-vet -pads [module.pad ...]
 //
 // With no arguments (or "./...") every package of the enclosing module is
@@ -38,11 +41,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("fractal-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log (for CI code-scanning upload)")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	pads := fs.Bool("pads", false, "verify builtin PAD bytecode (and any packed module files given as arguments) instead of Go sources")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "fractal-vet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	if *pads {
@@ -77,7 +85,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		// A clean run still emits a valid (empty-results) log so the CI
+		// upload step always has a file.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.SARIF(diags, analyzers, loader.ModuleDir)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -87,7 +105,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

@@ -22,6 +22,18 @@
 //   - deadline:   conn Read/Write and INP frame calls in the networking
 //     packages must be guarded by a deadline or SetTimeout, so a
 //     stalled peer cannot park a session goroutine forever.
+//   - lockheld:   (flow-sensitive) no mutex is provably held across a
+//     blocking operation, no lock is re-acquired while held, and
+//     known locks are acquired in a consistent order.
+//   - wiretaint:  (flow-sensitive) integers decoded from the wire must
+//     pass an upper-bound check before sizing an allocation.
+//   - hotpath:    (flow-sensitive) functions annotated //fractal:hotpath
+//     avoid per-call allocation constructs, pinning the
+//     benchmarked allocs/op.
+//
+// The last three run on a shared intraprocedural CFG + forward-dataflow
+// engine (cfg.go, dataflow.go) — the host-language sibling of the PAD
+// bytecode verifier's stack checker.
 //
 // A finding can be suppressed at a genuine exception site (for example a
 // real-I/O read deadline) with a checked annotation comment on the same or
@@ -203,6 +215,9 @@ func Analyzers() []*Analyzer {
 		OpcompleteAnalyzer,
 		DigestsafeAnalyzer,
 		DeadlineAnalyzer,
+		LockheldAnalyzer,
+		WiretaintAnalyzer,
+		HotpathAnalyzer,
 	}
 }
 

@@ -1,0 +1,67 @@
+package analysis
+
+// A generic forward worklist fixpoint over CFG blocks — the dataflow half
+// of the flow-sensitive engine. An analyzer supplies the lattice (Join,
+// Equal), the per-block transfer function, and optionally a per-edge
+// refinement (how a branch condition sharpens facts on its true/false
+// edges). The engine returns the block-entry facts at the fixpoint; the
+// analyzer then replays each reached block once to report.
+//
+// Contract: Transfer, Refine, and Join must treat their inputs as
+// immutable — facts are shared between blocks, so implementations
+// copy-on-write.
+
+// FlowAnalysis defines one dataflow problem over facts of type F.
+type FlowAnalysis[F any] struct {
+	// Entry produces the fact at function entry.
+	Entry func() F
+	// Transfer pushes a fact through a block's nodes.
+	Transfer func(b *Block, in F) F
+	// Refine (optional) sharpens a block's out-fact along one edge, using
+	// the edge's branch condition.
+	Refine func(e Edge, out F) F
+	// Join merges facts arriving over two edges.
+	Join func(a, b F) F
+	// Equal decides convergence.
+	Equal func(a, b F) bool
+}
+
+// ForwardFixpoint iterates the analysis to a fixpoint and returns the
+// entry fact of every reached block. Unreachable blocks are absent from
+// the result. The iteration is capped well above what any monotone
+// analysis on these CFGs needs, so a non-monotone transfer cannot hang
+// the vet run.
+func ForwardFixpoint[F any](g *CFG, an FlowAnalysis[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = an.Entry()
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	maxSteps := 64*len(g.Blocks) + 256
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := an.Transfer(b, in[b])
+		for _, e := range b.Succs {
+			f := out
+			if an.Refine != nil {
+				f = an.Refine(e, out)
+			}
+			cur, seen := in[e.To]
+			next := f
+			if seen {
+				next = an.Join(cur, f)
+			}
+			if seen && an.Equal(cur, next) {
+				continue
+			}
+			in[e.To] = next
+			if !queued[e.To.Index] {
+				queued[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}

@@ -202,6 +202,93 @@ func TestDigestsafeScope(t *testing.T) {
 	}
 }
 
+func TestLockheldFixtures(t *testing.T) {
+	checkFixture(t, LockheldAnalyzer, filepath.Join("testdata", "lockheld", "bad"), "fractal/internal/client")
+	checkFixture(t, LockheldAnalyzer, filepath.Join("testdata", "lockheld", "good"), "fractal/internal/client")
+}
+
+func TestWiretaintFixtures(t *testing.T) {
+	checkFixture(t, WiretaintAnalyzer, filepath.Join("testdata", "wiretaint", "bad"), "fractal/internal/inp")
+	checkFixture(t, WiretaintAnalyzer, filepath.Join("testdata", "wiretaint", "good"), "fractal/internal/inp")
+}
+
+func TestHotpathFixtures(t *testing.T) {
+	checkFixture(t, HotpathAnalyzer, filepath.Join("testdata", "hotpath", "bad"), "fractal/internal/core")
+	checkFixture(t, HotpathAnalyzer, filepath.Join("testdata", "hotpath", "good"), "fractal/internal/core")
+}
+
+// TestLockheldScope verifies lock discipline outside the concurrent
+// serving-plane packages (for example a test helper package) is not the
+// analyzer's business.
+func TestLockheldScope(t *testing.T) {
+	loader := getLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "lockheld", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fractal/internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{LockheldAnalyzer}) {
+		if d.Analyzer == LockheldAnalyzer.Name {
+			t.Fatalf("lockheld fired outside its scope: %v", d)
+		}
+	}
+}
+
+// TestWiretaintScope verifies integers decoded outside the wire-facing
+// packages are not treated as hostile.
+func TestWiretaintScope(t *testing.T) {
+	loader := getLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "wiretaint", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fractal/internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{WiretaintAnalyzer}) {
+		if d.Analyzer == WiretaintAnalyzer.Name {
+			t.Fatalf("wiretaint fired outside its scope: %v", d)
+		}
+	}
+}
+
+// TestStaleAllowsForFlowAnalyzers verifies allowcheck covers the new
+// analyzer names: an annotation naming lockheld/wiretaint/hotpath that
+// suppresses nothing is itself reported.
+func TestStaleAllowsForFlowAnalyzers(t *testing.T) {
+	loader := getLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "allowstale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fractal/internal/client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range pkg.TypeErrs {
+		t.Errorf("fixture failed to type-check: %v", te)
+	}
+	want := parseWants(t, abs)
+	var got []diagKey
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{LockheldAnalyzer, WiretaintAnalyzer, HotpathAnalyzer}) {
+		got = append(got, diagKey{analyzer: d.Analyzer, file: d.File, line: d.Line, col: d.Col})
+	}
+	sortKeys(want)
+	sortKeys(got)
+	if len(want) != len(got) {
+		t.Fatalf("got %d diagnostics, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("diagnostic %d at %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSelect(t *testing.T) {
 	all, err := Select("", "")
 	if err != nil || len(all) != len(Analyzers()) {

@@ -1,0 +1,53 @@
+// Package core is the hotpath bad fixture: annotated hot functions using
+// per-call allocation constructs.
+package core
+
+import "fmt"
+
+func sink(v interface{}) {}
+func use(f func() int)   {}
+func global() int        { return 0 }
+
+//fractal:hotpath fixture
+func closureCapture(n int) {
+	use(func() int { return n }) //want hotpath:6
+}
+
+//fractal:hotpath fixture
+func formats(name string) string {
+	return fmt.Sprintf("hello %s", name) //want hotpath:9
+}
+
+//fractal:hotpath fixture
+func literalInLoop(keys []string) int {
+	total := 0
+	for range keys {
+		m := map[string]int{} //want hotpath:8
+		total += len(m)
+	}
+	return total
+}
+
+//fractal:hotpath fixture
+func sliceLiteralInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s := []int{i} //want hotpath:8
+		total += s[0]
+	}
+	return total
+}
+
+//fractal:hotpath fixture
+func appendGrowth(items []int) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it) //want hotpath:9
+	}
+	return out
+}
+
+//fractal:hotpath fixture
+func boxesInt(n int) {
+	sink(n) //want hotpath:7
+}

@@ -1,0 +1,73 @@
+// Package core is the hotpath good fixture: hot functions written
+// allocation-free, the same constructs in unannotated functions, and one
+// justified allow annotation.
+package core
+
+import "fmt"
+
+func sink(v interface{}) {}
+
+var sharedTable = map[string]int{}
+
+//fractal:hotpath fixture
+func preallocated(items []int) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}
+
+//fractal:hotpath fixture
+func reusesBuffer(buf []int, items []int) []int {
+	out := buf[:0]
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}
+
+//fractal:hotpath fixture
+func pointerNotBoxed(n *int) {
+	sink(n)
+}
+
+//fractal:hotpath fixture
+func capturelessClosure(items []int) int {
+	add := func(a, b int) int { return a + b }
+	total := 0
+	for _, it := range items {
+		total = add(total, it)
+	}
+	return total
+}
+
+//fractal:hotpath fixture
+func packageLevelIsNotACapture() int {
+	f := func() int { return len(sharedTable) }
+	return f()
+}
+
+//fractal:hotpath fixture
+func errorPathMayFormat(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	return nil
+}
+
+// coldFunctionsMayAllocate is not annotated: nothing here is checked.
+func coldFunctionsMayAllocate(names []string) []string {
+	var out []string
+	for _, n := range names {
+		out = append(out, fmt.Sprintf("cold %s", n))
+	}
+	return out
+}
+
+//fractal:hotpath fixture
+func allowedFormatting(name string) string {
+	// Rare slow path kept for readability; measured as irrelevant.
+	//fractal:allow hotpath — fixture: formatting on a measured-cold branch
+	return fmt.Sprintf("slow %s", name)
+}

@@ -1,0 +1,87 @@
+// Package client is the lockheld good fixture: correct lock discipline
+// the analyzer must not flag, plus one justified allow annotation.
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// conn has the net.Conn deadline shape.
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)      { return 0, nil }
+func (conn) Write(p []byte) (int, error)     { return 0, nil }
+func (conn) SetReadDeadline(time.Time) error { return nil }
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockedCounter(s *state) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func releasedBeforeRead(s *state, c conn, buf []byte) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	_, _ = c.Read(buf)
+}
+
+// heldOnOnePath: the lock is held only on the if-path and released there,
+// so the must-analysis join proves nothing is held at the Read.
+func heldOnOnePath(s *state, c conn, buf []byte, cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+	_, _ = c.Read(buf)
+}
+
+// bothBranchesRelease: each branch releases before the blocking op.
+func bothBranchesRelease(s *state, c conn, buf []byte, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.n++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	_, _ = c.Read(buf)
+}
+
+// selectWithDefault never blocks: not a finding.
+func selectWithDefault(s *state, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+}
+
+// goroutineBodyIsSeparate: the literal runs on its own goroutine with its
+// own (empty) entry fact; the sleep inside it is not "under" the lock.
+func goroutineBodyIsSeparate(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.n++
+}
+
+// deliberateSerialization holds the session lock across the exchange on
+// purpose; the annotation documents and suppresses it.
+func deliberateSerialization(s *state, c conn, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//fractal:allow lockheld — fixture: deliberate serialization point
+	_, _ = c.Read(buf)
+}

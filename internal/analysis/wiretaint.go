@@ -1,0 +1,509 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// wiretaintScope lists the packages that decode attacker-controlled bytes:
+// the INP framing plane and the delta codec. Everywhere else, integers do
+// not arrive from a peer.
+var wiretaintScope = map[string]bool{
+	"fractal/internal/inp":   true,
+	"fractal/internal/codec": true,
+}
+
+// taintBoundMax is the largest constant upper bound that counts as a
+// sanitizer. Comparing a wire integer against 64 MB and then allocating it
+// is exactly the hostile-header bug, so huge constants do not launder
+// taint.
+const taintBoundMax = 1 << 24
+
+// WiretaintAnalyzer runs a may-taint dataflow over each function's CFG:
+// integers produced by wire decoders (binary.ReadUvarint, ByteOrder
+// Uint16/32/64, and one-level local wrappers around them) are tainted;
+// branch conditions that upper-bound a tainted variable against a sane
+// limit sanitize it on the guarded edge; tainted values reaching an
+// allocation-size sink (make, slices.Grow, io.CopyN) are reported.
+var WiretaintAnalyzer = &Analyzer{
+	Name: "wiretaint",
+	Doc:  "flag wire-decoded integers flowing into allocation sizes without a bound check",
+	Run:  runWiretaint,
+}
+
+// taintFact is the may-tainted set of integer variables. Join is union.
+type taintFact map[*types.Var]bool
+
+func taintJoin(a, b taintFact) taintFact {
+	out := make(taintFact, len(a)+len(b))
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+
+func taintEqual(a, b taintFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func runWiretaint(pass *Pass) {
+	if !wiretaintScope[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			wrappers := sourceWrappers(pass, fd.Body)
+			for _, g := range funcCFGs(fd.Body) {
+				wiretaintFunc(pass, g, wrappers)
+			}
+		}
+	}
+}
+
+// sourceWrappers finds one level of local indirection over the wire
+// decoders: `readU := func(...) ... { ... binary.ReadUvarint ... }`. Calls
+// through such a variable taint their first result like the decoder
+// itself.
+func sourceWrappers(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	wrappers := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		var v *types.Var
+		if def, ok := pass.Pkg.Info.Defs[id].(*types.Var); ok {
+			v = def
+		} else if use, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+			v = use
+		}
+		if v == nil {
+			return true
+		}
+		callsSource := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isWireSource(pass, call, nil) {
+				callsSource = true
+				return false
+			}
+			return true
+		})
+		if callsSource {
+			wrappers[v] = true
+		}
+		return true
+	})
+	return wrappers
+}
+
+type taintCtx struct {
+	pass     *Pass
+	wrappers map[*types.Var]bool
+}
+
+func wiretaintFunc(pass *Pass, g *CFG, wrappers map[*types.Var]bool) {
+	ctx := &taintCtx{pass: pass, wrappers: wrappers}
+	an := FlowAnalysis[taintFact]{
+		Entry:    func() taintFact { return taintFact{} },
+		Transfer: func(b *Block, in taintFact) taintFact { return ctx.transfer(b, in, false) },
+		Refine:   ctx.refine,
+		Join:     taintJoin,
+		Equal:    taintEqual,
+	}
+	entry := ForwardFixpoint(g, an)
+	for _, b := range g.Blocks {
+		in, reached := entry[b]
+		if !reached {
+			continue
+		}
+		ctx.transfer(b, in, true)
+	}
+}
+
+// transfer pushes the taint set through one block; with report set it also
+// flags tainted values reaching allocation sinks.
+func (c *taintCtx) transfer(b *Block, in taintFact, report bool) taintFact {
+	fact := in
+	cloned := false
+	mutate := func() taintFact {
+		if !cloned {
+			cp := make(taintFact, len(fact))
+			for v := range fact {
+				cp[v] = true
+			}
+			fact, cloned = cp, true
+		}
+		return fact
+	}
+
+	for _, node := range b.Nodes {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			if report {
+				c.checkSinks(n, fact)
+			}
+			c.assign(n, fact, mutate)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && c.exprTainted(vs.Values[i], fact) {
+							if v, ok := c.pass.Pkg.Info.Defs[name].(*types.Var); ok {
+								mutate()[v] = true
+							}
+						}
+					}
+				}
+			}
+		default:
+			if report {
+				c.checkSinks(node, fact)
+			}
+		}
+	}
+	return fact
+}
+
+// assign applies strong updates: a variable assigned from a tainted
+// expression becomes tainted, one assigned from a clean expression becomes
+// clean. Multi-value assignments from a wire source taint position 0.
+func (c *taintCtx) assign(as *ast.AssignStmt, fact taintFact, mutate func() taintFact) {
+	fromSource := false
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isWireSource(c.pass, call, c.wrappers) {
+			fromSource = true
+		}
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var v *types.Var
+		if def, ok := c.pass.Pkg.Info.Defs[id].(*types.Var); ok {
+			v = def
+		} else if use, ok := c.pass.Pkg.Info.Uses[id].(*types.Var); ok {
+			v = use
+		}
+		if v == nil || !isIntegerVar(v) {
+			continue
+		}
+		tainted := false
+		switch {
+		case fromSource:
+			tainted = i == 0
+		case len(as.Rhs) == len(as.Lhs):
+			rhs := as.Rhs[i]
+			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				// Compound (+=, <<=, ...): taint accumulates.
+				tainted = fact[v] || c.exprTainted(rhs, fact)
+			} else {
+				tainted = c.exprTainted(rhs, fact)
+			}
+		default:
+			// Multi-value from a non-source call: conservatively clean.
+		}
+		if tainted {
+			mutate()[v] = true
+		} else if fact[v] {
+			delete(mutate(), v)
+		}
+	}
+}
+
+// exprTainted reports whether evaluating e may yield a wire-controlled
+// integer under the current fact.
+func (c *taintCtx) exprTainted(e ast.Expr, fact taintFact) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.Pkg.Info.Uses[e].(*types.Var); ok {
+			return fact[v]
+		}
+		return false
+	case *ast.ParenExpr:
+		return c.exprTainted(e.X, fact)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return false // booleans
+		}
+		return c.exprTainted(e.X, fact) || c.exprTainted(e.Y, fact)
+	case *ast.UnaryExpr:
+		return c.exprTainted(e.X, fact)
+	case *ast.CallExpr:
+		if isWireSource(c.pass, e, c.wrappers) {
+			return true
+		}
+		// Conversion: T(x) is as tainted as x.
+		if tv, ok := c.pass.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.exprTainted(e.Args[0], fact)
+		}
+		// min(x, smallConst) clamps; min/max of all-tainted stays tainted.
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if bi, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+				switch bi.Name() {
+				case "min":
+					for _, a := range e.Args {
+						if !c.exprTainted(a, fact) && smallConstOrClean(c.pass, a) {
+							return false
+						}
+					}
+					return true
+				case "max", "len", "cap":
+					for _, a := range e.Args {
+						if c.exprTainted(a, fact) {
+							return bi.Name() == "max"
+						}
+					}
+					return false
+				}
+			}
+		}
+		return false
+	}
+	// Selectors, index expressions, literals: clean.
+	return false
+}
+
+// smallConstOrClean reports whether e is an untainted bound that genuinely
+// clamps: any non-constant clean expression, or a constant <= taintBoundMax.
+func smallConstOrClean(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.Value == nil {
+		return true
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v >= 0 && v <= taintBoundMax
+}
+
+// refine sanitizes variables along branch edges whose condition proves an
+// upper bound: on the true edge of `n <= limit` (or the false edge of
+// `n > limit`), n is no longer attacker-sized, provided limit is itself
+// untainted and not an absurd constant.
+func (c *taintCtx) refine(e Edge, out taintFact) taintFact {
+	if e.Cond == nil {
+		return out
+	}
+	fact := out
+	cloned := false
+	sanitize := func(id *ast.Ident) {
+		v, ok := c.pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || !fact[v] {
+			return
+		}
+		if !cloned {
+			cp := make(taintFact, len(fact))
+			for w := range fact {
+				cp[w] = true
+			}
+			fact, cloned = cp, true
+		}
+		delete(fact, v)
+	}
+	c.refineCond(e.Cond, e.Negated, fact, sanitize)
+	return fact
+}
+
+// refineCond walks a branch condition, applying sanitization for each
+// conjunct that holds on this edge. negated means the edge is taken when
+// the condition is false.
+func (c *taintCtx) refineCond(cond ast.Expr, negated bool, fact taintFact, sanitize func(*ast.Ident)) {
+	switch cond := cond.(type) {
+	case *ast.ParenExpr:
+		c.refineCond(cond.X, negated, fact, sanitize)
+		return
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			c.refineCond(cond.X, !negated, fact, sanitize)
+		}
+		return
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.LAND:
+			if !negated {
+				// Both conjuncts hold on the true edge.
+				c.refineCond(cond.X, false, fact, sanitize)
+				c.refineCond(cond.Y, false, fact, sanitize)
+			}
+			return
+		case token.LOR:
+			if negated {
+				// Both disjuncts are false on the false edge.
+				c.refineCond(cond.X, true, fact, sanitize)
+				c.refineCond(cond.Y, true, fact, sanitize)
+			}
+			return
+		}
+		op := cond.Op
+		if negated {
+			switch op {
+			case token.LSS:
+				op = token.GEQ
+			case token.LEQ:
+				op = token.GTR
+			case token.GTR:
+				op = token.LEQ
+			case token.GEQ:
+				op = token.LSS
+			case token.EQL:
+				op = token.NEQ
+			case token.NEQ:
+				op = token.EQL
+			}
+		}
+		// v <op> bound with an upper bound proven on this edge.
+		if id, ok := identOf(cond.X); ok {
+			switch op {
+			case token.LSS, token.LEQ, token.EQL:
+				if !c.exprTainted(cond.Y, fact) && smallConstOrClean(c.pass, cond.Y) {
+					sanitize(id)
+				}
+			}
+		}
+		if id, ok := identOf(cond.Y); ok {
+			switch op {
+			case token.GTR, token.GEQ, token.EQL:
+				if !c.exprTainted(cond.X, fact) && smallConstOrClean(c.pass, cond.X) {
+					sanitize(id)
+				}
+			}
+		}
+	}
+}
+
+func identOf(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			// Look through conversions: int(n) > bound sanitizes n.
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil, false
+		case *ast.Ident:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isWireSource recognizes the decoder calls that introduce taint.
+func isWireSource(pass *Pass, call *ast.CallExpr, wrappers map[*types.Var]bool) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" {
+			switch fn.Name() {
+			case "ReadUvarint", "ReadVarint":
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				switch fn.Name() {
+				case "Uint16", "Uint32", "Uint64":
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		if wrappers == nil {
+			return false
+		}
+		if v, ok := pass.Pkg.Info.Uses[fun].(*types.Var); ok {
+			return wrappers[v]
+		}
+	}
+	return false
+}
+
+// checkSinks reports tainted values reaching allocation-size positions in
+// any call under node (skipping nested function literals, which get their
+// own pass).
+func (c *taintCtx) checkSinks(node ast.Node, fact taintFact) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if bi, ok := c.pass.Pkg.Info.Uses[fun].(*types.Builtin); ok && bi.Name() == "make" {
+				for _, arg := range call.Args[1:] {
+					c.reportIfTainted(arg, fact, "make size")
+				}
+			}
+		case *ast.SelectorExpr:
+			fn, ok := c.pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "slices" && fn.Name() == "Grow" && len(call.Args) >= 2:
+				c.reportIfTainted(call.Args[1], fact, "slices.Grow size")
+			case fn.Pkg().Path() == "io" && fn.Name() == "CopyN" && len(call.Args) >= 3:
+				c.reportIfTainted(call.Args[2], fact, "io.CopyN limit")
+			}
+		}
+		return true
+	})
+}
+
+func (c *taintCtx) reportIfTainted(arg ast.Expr, fact taintFact, sink string) {
+	if !c.exprTainted(arg, fact) {
+		return
+	}
+	c.pass.Reportf(arg.Pos(),
+		"wire-decoded integer %s flows into %s without an upper-bound check; a hostile header sizes this allocation (clamp it, or annotate with //%s wiretaint)",
+		types.ExprString(arg), sink, AllowPrefix)
+}
+
+// isIntegerVar reports whether v holds an integer (signed or unsigned),
+// the only type taint tracks.
+func isIntegerVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

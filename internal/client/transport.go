@@ -171,14 +171,27 @@ type SessionConfig struct {
 // stream position is unknown, so the session marks itself broken and
 // transparently redials on the next call rather than reading garbage
 // from a half-consumed stream. TCPAppSession is safe for concurrent use.
+//
+// Two locks split the two jobs the old single mutex conflated. sessMu
+// serializes content exchanges: an INP stream is a strict request/reply
+// sequence, so exchanges must not interleave, and sessMu is therefore —
+// deliberately — held across network I/O. mu guards only the state fields
+// (conn, c, broken, closed, redials) and is never held across I/O, so
+// Close and Broken stay responsive while a peer stalls mid-exchange;
+// Close tears down the live conn, which unblocks the in-flight Call.
 type TCPAppSession struct {
 	addr string
 	cfg  SessionConfig
+
+	// sessMu is the exchange lock (see type comment); acquired before mu,
+	// never the other way around.
+	sessMu sync.Mutex
 
 	mu      sync.Mutex
 	conn    net.Conn
 	c       *inp.Conn
 	broken  bool
+	closed  bool
 	redials int64
 }
 
@@ -190,26 +203,25 @@ func DialApp(addr string) (*TCPAppSession, error) {
 // DialAppSession opens an application session with the given bounds.
 func DialAppSession(addr string, cfg SessionConfig) (*TCPAppSession, error) {
 	s := &TCPAppSession{addr: addr, cfg: cfg}
-	if err := s.redialLocked(); err != nil {
+	conn, c, err := s.dial()
+	if err != nil {
 		return nil, err
 	}
+	s.conn, s.c = conn, c
 	return s, nil
 }
 
-// redialLocked (re)establishes the connection; the caller holds mu (or
-// owns the session exclusively during construction).
-func (s *TCPAppSession) redialLocked() error {
-	if s.conn != nil {
-		_ = s.conn.Close()
-	}
+// dial establishes a fresh connection. It takes no locks: dialing can
+// block for the full dial timeout, and holding either lock across it
+// would park Close behind an unresponsive network.
+func (s *TCPAppSession) dial() (net.Conn, *inp.Conn, error) {
 	conn, err := dialBounded(s.cfg.Dial, s.cfg.DialTimeout, s.addr)
 	if err != nil {
-		return fmt.Errorf("client: dialing application server %s: %w", s.addr, err)
+		return nil, nil, fmt.Errorf("client: dialing application server %s: %w", s.addr, err)
 	}
 	c := inp.NewConn(conn)
 	c.SetTimeout(s.cfg.CallTimeout)
-	s.conn, s.c, s.broken = conn, c, false
-	return nil
+	return conn, c, nil
 }
 
 // FetchContent implements ContentFetcher. An in-band peer error (the
@@ -217,20 +229,55 @@ func (s *TCPAppSession) redialLocked() error {
 // healthy; any transport-level failure breaks the session, and the next
 // call redials before retrying.
 func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken {
-		if err := s.redialLocked(); err != nil {
+	closed, broken := s.closed, s.broken
+	s.mu.Unlock()
+	if closed {
+		return inp.AppRep{}, fmt.Errorf("client: app session to %s: session closed", s.addr)
+	}
+	if broken {
+		if old := s.swapConn(nil, nil); old != nil {
+			_ = old.Close() // drop the dead conn before redialing
+		}
+		conn, c, err := s.dial()
+		if err != nil {
 			return inp.AppRep{}, fmt.Errorf("%w; redial failed: %w", ErrSessionBroken, err)
 		}
+		s.mu.Lock()
+		if s.closed {
+			// Close won the race while we were dialing: do not resurrect.
+			s.mu.Unlock()
+			_ = conn.Close()
+			return inp.AppRep{}, fmt.Errorf("client: app session to %s: session closed", s.addr)
+		}
+		s.conn, s.c = conn, c
+		s.broken = false
 		s.redials++
+		s.mu.Unlock()
 	}
+
+	s.mu.Lock()
+	conn, c := s.conn, s.c
+	s.mu.Unlock()
+	if c == nil {
+		return inp.AppRep{}, fmt.Errorf("client: app session to %s: session closed", s.addr)
+	}
+
 	var rep inp.AppRep
-	if err := s.c.Call(inp.MsgAppReq, req, inp.MsgAppRep, &rep); err != nil {
+	// sessMu (and only sessMu) is held across this round trip: it is the
+	// exchange-serialization lock, and Close can still interrupt the call
+	// by closing conn under mu.
+	//fractal:allow lockheld sessMu deliberately serializes the INP exchange; Close interrupts via conn.Close
+	if err := c.Call(inp.MsgAppReq, req, inp.MsgAppRep, &rep); err != nil {
 		var pe *inp.PeerError
 		if !errors.As(err, &pe) {
+			s.mu.Lock()
 			s.broken = true
-			_ = s.conn.Close()
+			s.mu.Unlock()
+			_ = conn.Close()
 			return inp.AppRep{}, fmt.Errorf("client: app session to %s: %w: %w", s.addr, ErrSessionBroken, err)
 		}
 		return inp.AppRep{}, err
@@ -238,7 +285,18 @@ func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
 	return rep, nil
 }
 
-// Broken reports whether the next call will have to redial.
+// swapConn installs a new connection pair under mu, returning the
+// previous net.Conn (nil if none).
+func (s *TCPAppSession) swapConn(conn net.Conn, c *inp.Conn) net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.conn
+	s.conn, s.c = conn, c
+	return prev
+}
+
+// Broken reports whether the next call will have to redial. It does not
+// wait for an in-flight exchange.
 func (s *TCPAppSession) Broken() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -252,11 +310,19 @@ func (s *TCPAppSession) Redials() int64 {
 	return s.redials
 }
 
-// Close ends the session.
+// Close ends the session. It does not wait for an in-flight exchange:
+// closing the connection forces any blocked Call to fail promptly.
 func (s *TCPAppSession) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.conn.Close()
+	alreadyClosed := s.closed
+	s.closed = true
+	conn := s.conn
+	s.conn, s.c = nil, nil
+	s.mu.Unlock()
+	if alreadyClosed || conn == nil {
+		return nil
+	}
+	return conn.Close()
 }
 
 // LocalAppServer adapts an in-process application server to the

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -171,5 +172,102 @@ func TestLocalAppServerErrorPropagation(t *testing.T) {
 	}}
 	if _, err := l.FetchContent(inp.AppReq{}); err == nil {
 		t.Fatal("local server error swallowed")
+	}
+}
+
+// startStallServer accepts one connection, signals once the request
+// header has arrived, then swallows everything without ever replying —
+// the pathological peer a session must survive.
+func startStallServer(t *testing.T) (addr string, reqArrived chan struct{}) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	reqArrived = make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		hdr := make([]byte, 16)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		close(reqArrived)
+		_, _ = io.Copy(io.Discard, conn)
+	}()
+	return ln.Addr().String(), reqArrived
+}
+
+// TestAppSessionCloseUnblocksStalledCall is the regression test for the
+// lock split: with a single mutex held across the INP round trip, a
+// stalled server left Close and Broken parked behind the in-flight
+// exchange forever. Now Broken answers while the call is mid-stall, and
+// Close tears down the conn, which fails the blocked call promptly.
+func TestAppSessionCloseUnblocksStalledCall(t *testing.T) {
+	addr, reqArrived := startStallServer(t)
+	s, err := DialApp(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := s.FetchContent(inp.AppReq{AppID: "webapp", Resource: "page-1"})
+		callErr <- err
+	}()
+	select {
+	case <-reqArrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the stall server")
+	}
+
+	brokenDone := make(chan bool, 1)
+	go func() { brokenDone <- s.Broken() }()
+	select {
+	case b := <-brokenDone:
+		if b {
+			t.Error("session reported broken before any failure")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Broken() blocked behind a stalled exchange")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close during stalled exchange: %v", err)
+	}
+	select {
+	case err := <-callErr:
+		if err == nil {
+			t.Fatal("stalled FetchContent returned success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the stalled FetchContent")
+	}
+}
+
+// TestAppSessionUseAfterClose pins the closed-session contract: calls
+// after Close fail with a "session closed" error (they must not redial
+// and resurrect the session), and Close is idempotent.
+func TestAppSessionUseAfterClose(t *testing.T) {
+	addr, _ := startStallServer(t)
+	s, err := DialApp(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.FetchContent(inp.AppReq{AppID: "webapp", Resource: "page-1"})
+	if err == nil || !strings.Contains(err.Error(), "session closed") {
+		t.Fatalf("FetchContent after Close = %v, want session-closed error", err)
+	}
+	if s.Redials() != 0 {
+		t.Fatal("closed session redialed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

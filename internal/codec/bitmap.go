@@ -188,9 +188,26 @@ func (b *Bitmap) DecodeFrom(old []byte, src io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("codec: bitmap payload encoded against %d-byte old version, receiver holds %d bytes", oldLenU, len(old))
 	}
 	nblocks := (curLen + bs - 1) / bs
-	bitmap := make([]byte, (nblocks+7)/8)
-	if _, err := io.ReadFull(r, bitmap); err != nil {
-		return nil, fmt.Errorf("codec: bitmap payload: truncated bitmap: %w", err)
+	// The bitmap's size is derived from the (hostile) header length, so it
+	// is read incrementally in clamped steps rather than allocated up
+	// front: a header claiming 4 GB of content yields a ~32 MB bitmap
+	// length, but the allocation only grows as bytes actually arrive.
+	bmLen := (nblocks + 7) / 8
+	bmReserve := bmLen
+	if bmReserve > maxDecodeReserve {
+		bmReserve = maxDecodeReserve
+	}
+	bitmap := make([]byte, 0, bmReserve)
+	for len(bitmap) < bmLen {
+		step := bmLen - len(bitmap)
+		if step > maxDecodeReserve {
+			step = maxDecodeReserve
+		}
+		off := len(bitmap)
+		bitmap = slices.Grow(bitmap, step)[:off+step]
+		if _, err := io.ReadFull(r, bitmap[off:]); err != nil {
+			return nil, fmt.Errorf("codec: bitmap payload: truncated bitmap: %w", err)
+		}
 	}
 	reserve := curLen
 	if reserve > maxDecodeReserve {

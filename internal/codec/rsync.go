@@ -204,7 +204,13 @@ func (r *Rsync) Decode(old, payload []byte) ([]byte, error) {
 	if nops > curLen+1 {
 		return nil, fmt.Errorf("codec: rsync payload: %d ops for %d bytes is impossible", nops, curLen)
 	}
-	out := make([]byte, 0, curLen)
+	reserve := curLen
+	if reserve > maxDecodeReserve {
+		// An unvalidated header length must not force a huge allocation;
+		// the output grows naturally as ops actually produce bytes.
+		reserve = maxDecodeReserve
+	}
+	out := make([]byte, 0, reserve)
 	for op := uint64(0); op < nops; op++ {
 		tag, err := rd.ReadByte()
 		if err != nil {

@@ -31,6 +31,16 @@ const maxDecodeReserve = 1 << 20
 // nothing on every call.
 var opsBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
 
+// putOpsBuf returns an op buffer to the pool unless one giant encode grew
+// it past the retention cap (which would pin the capacity forever). A
+// named function rather than a deferred closure so the encode hot path
+// does not allocate a capturing closure per call.
+func putOpsBuf(ops *bytes.Buffer) {
+	if ops.Cap() <= 4*maxDecodeReserve {
+		opsBufPool.Put(ops)
+	}
+}
+
 // VaryBlock is the LBFS-style vary-sized blocking protocol [34]: files are
 // divided into chunks demarcated where the Rabin fingerprint of the
 // previous 48 bytes matches a specific value, so boundaries follow content
@@ -106,16 +116,13 @@ func (v *VaryBlock) indexOf(data []byte) *ChunkIndex {
 //	"FVB1" | uvarint len(cur) | uvarint len(old) | uvarint nops |
 //	ops: tag 0 => uvarint oldChunkIndex
 //	     tag 1 => uvarint litLen | litLen bytes
+//
+//fractal:hotpath the delta-encode inner loop dominates serving cost
 func (v *VaryBlock) Encode(old, cur []byte) ([]byte, error) {
 	oldIdx := v.indexOf(old)
 	curIdx := v.indexOf(cur)
 	ops := opsBufPool.Get().(*bytes.Buffer)
-	defer func() {
-		// Don't let one giant encode pin its buffer in the pool forever.
-		if ops.Cap() <= 4*maxDecodeReserve {
-			opsBufPool.Put(ops)
-		}
-	}()
+	defer putOpsBuf(ops)
 	ops.Reset()
 	var tmp [binary.MaxVarintLen64]byte
 	for i, c := range curIdx.Chunks {

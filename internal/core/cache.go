@@ -146,6 +146,8 @@ func (c *AdaptationCache) Get(k CacheKey) ([]PADMeta, bool) {
 
 // GetKeyed is Get for a caller that already rendered k.String(), so the
 // hot path builds the canonical key exactly once per negotiation.
+//
+//fractal:hotpath every negotiation hits the cache before searching
 func (c *AdaptationCache) GetKeyed(key string) ([]PADMeta, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
@@ -169,6 +171,8 @@ func (c *AdaptationCache) Put(k CacheKey, pads []PADMeta) {
 
 // PutKeyed is Put for a caller that already rendered k.String(); key must
 // be the canonical CacheKey.String() form.
+//
+//fractal:hotpath every cache miss stores its search result here
 func (c *AdaptationCache) PutKeyed(key string, pads []PADMeta) {
 	cp := append([]PADMeta(nil), pads...)
 	appID := appIDOfKey(key)

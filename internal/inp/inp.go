@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 
 	"fractal/internal/core"
@@ -102,17 +103,24 @@ var framePool = sync.Pool{New: func() interface{} {
 
 var zeroHeader [headerLen]byte
 
+// putFrame returns a frame buffer to the pool unless it grew past the
+// retention cap. A named function rather than a deferred closure so the
+// hot framing path does not allocate a capturing closure per message.
+func putFrame(f *frameBuffer) {
+	if f.buf.Cap() <= maxPooledFrame {
+		framePool.Put(f)
+	}
+}
+
 // WriteMessage frames and writes one message as a single Write call.
+//
+//fractal:hotpath every INP exchange writes through here
 func WriteMessage(w io.Writer, h Header, body interface{}) error {
 	if h.Type == MsgInvalid || h.Type >= msgMax {
 		return fmt.Errorf("inp: cannot write message of type %v", h.Type)
 	}
 	f := framePool.Get().(*frameBuffer)
-	defer func() {
-		if f.buf.Cap() <= maxPooledFrame {
-			framePool.Put(f)
-		}
-	}()
+	defer putFrame(f)
 	f.buf.Reset()
 	f.buf.Write(zeroHeader[:]) // reserve the header slot
 	// Encoder.Encode emits exactly json.Marshal's bytes plus one newline,
@@ -137,7 +145,15 @@ func WriteMessage(w io.Writer, h Header, body interface{}) error {
 	return nil
 }
 
+// maxBodyReserve caps how much body memory is allocated ahead of bytes
+// actually arriving: a header may claim up to MaxBody, but the buffer only
+// grows in maxBodyReserve steps as the stream delivers, so a hostile
+// header alone cannot size a 64 MB allocation.
+const maxBodyReserve = 1 << 20
+
 // ReadMessage reads one framed message, returning its header and raw body.
+//
+//fractal:hotpath every INP exchange reads through here
 func ReadMessage(r io.Reader) (Header, []byte, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -157,9 +173,21 @@ func ReadMessage(r io.Reader) (Header, []byte, error) {
 	if n > MaxBody {
 		return Header{}, nil, fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Header{}, nil, fmt.Errorf("inp: reading %v body: %w", h.Type, err)
+	reserve := n
+	if reserve > maxBodyReserve {
+		reserve = maxBodyReserve
+	}
+	body := make([]byte, 0, reserve)
+	for len(body) < int(n) {
+		step := int(n) - len(body)
+		if step > maxBodyReserve {
+			step = maxBodyReserve
+		}
+		off := len(body)
+		body = slices.Grow(body, step)[:off+step]
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return Header{}, nil, fmt.Errorf("inp: reading %v body: %w", h.Type, err)
+		}
 	}
 	return h, body, nil
 }
