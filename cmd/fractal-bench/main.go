@@ -25,8 +25,11 @@
 //
 // With -json the sections are emitted as one JSON document (each TSV row
 // split into fields) instead of the human-readable text, for consumption by
-// plotting or regression-tracking scripts. -cpuprofile and -memprofile
-// write pprof profiles covering the experiment runs.
+// plotting or regression-tracking scripts. The document is an envelope that
+// records run provenance — goos, goarch, gomaxprocs, nproc, and an optional
+// free-form -note — so snapshots taken on different hosts are never mistaken
+// for comparable. -cpuprofile and -memprofile write pprof profiles covering
+// the experiment runs.
 package main
 
 import (
@@ -58,6 +61,33 @@ type jsonSection struct {
 	Rows  [][]string `json:"rows"`
 }
 
+// jsonEnvelope wraps -json output with the provenance a regression tracker
+// needs to decide whether two runs are comparable at all: numbers taken at
+// GOMAXPROCS=1 on a single-CPU host must not be gated against an 8-way run.
+type jsonEnvelope struct {
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"nproc"`
+	Note       string        `json:"note,omitempty"`
+	Sections   []jsonSection `json:"sections"`
+}
+
+// emitJSON writes the sections wrapped in the provenance envelope.
+func emitJSON(secs []jsonSection, note string) error {
+	env := jsonEnvelope{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note:       note,
+		Sections:   secs,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
 func main() {
 	var (
 		mode       = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver; faults = deterministic fault-injection scenarios")
@@ -68,7 +98,8 @@ func main() {
 		pages      = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
 		seed       = flag.Int64("seed", 0, "override workload seed")
 		edges      = flag.Int("edges", 0, "override CDN edgeserver count")
-		jsonOut    = flag.Bool("json", false, "emit sections as one JSON document instead of text")
+		jsonOut    = flag.Bool("json", false, "emit sections as one JSON document (with run provenance) instead of text")
+		note       = flag.String("note", "", "free-form provenance note recorded in the -json envelope (e.g. host or run context)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
@@ -80,9 +111,7 @@ func main() {
 			fatal(err)
 		}
 		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode([]jsonSection{sec.toJSON()}); err != nil {
+			if err := emitJSON([]jsonSection{sec.toJSON()}, *note); err != nil {
 				fatal(err)
 			}
 		} else {
@@ -96,9 +125,7 @@ func main() {
 			fatal(err)
 		}
 		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode([]jsonSection{sec.toJSON()}); err != nil {
+			if err := emitJSON([]jsonSection{sec.toJSON()}, *note); err != nil {
 				fatal(err)
 			}
 		} else {
@@ -188,9 +215,7 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(collected); err != nil {
+		if err := emitJSON(collected, *note); err != nil {
 			fatal(err)
 		}
 	}

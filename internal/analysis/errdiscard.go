@@ -81,8 +81,8 @@ func checkAssignedCall(pass *Pass, st *ast.AssignStmt, call *ast.CallExpr) {
 }
 
 // watchedCallee resolves a call to a watched I/O/codec function, returning
-// nil for unwatched or exempt callees (bytes.Buffer and strings.Builder
-// writes cannot fail by contract).
+// nil for unwatched or exempt callees (bytes.Buffer, strings.Builder, and
+// arena.Buffer writes cannot fail by contract).
 func watchedCallee(pass *Pass, call *ast.CallExpr) (*types.Func, *types.Signature) {
 	var id *ast.Ident
 	switch fun := call.Fun.(type) {
@@ -106,7 +106,7 @@ func watchedCallee(pass *Pass, call *ast.CallExpr) (*types.Func, *types.Signatur
 	}
 	if recv := sig.Recv(); recv != nil {
 		switch named(recv.Type()) {
-		case "bytes.Buffer", "strings.Builder":
+		case "bytes.Buffer", "strings.Builder", "fractal/internal/arena.Buffer":
 			return nil, nil
 		}
 	}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -19,9 +20,16 @@ const HotpathPrefix = "fractal:hotpath"
 // inside loops, append growth in loops without preallocation, and
 // interface boxing of non-pointer values. It is annotation-driven and runs
 // in every package.
+//
+// Independent of annotations it also enforces the arena lifetime rule:
+// a session-scoped buffer (arena.Session Bytes/Grow) is recycled when the
+// connection releases its session, so storing one into a struct field, a
+// package-level variable, or a channel would let the storage be
+// overwritten under the escapee. The rare legitimate store — a field of
+// an object that provably shares the session's lifetime — is annotated.
 var HotpathAnalyzer = &Analyzer{
 	Name: "hotpath",
-	Doc:  "flag per-call allocation constructs in functions annotated //fractal:hotpath",
+	Doc:  "flag per-call allocation constructs in functions annotated //fractal:hotpath, and session arena buffers escaping their lifetime scope",
 	Run:  runHotpath,
 }
 
@@ -33,12 +41,133 @@ func runHotpath(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			checkArenaEscape(pass, fd)
 			if !isHotFunc(pass, fd, marked) {
 				continue
 			}
 			checkHotFunc(pass, fd)
 		}
 	}
+}
+
+// checkArenaEscape flags session-scoped arena buffers escaping into
+// storage that outlives the session: struct fields, package-level
+// variables, and channel sends. Taint starts at (*arena.Session)
+// Bytes/Grow calls and propagates through local assignments (including
+// slicing) to a fixpoint.
+func checkArenaEscape(pass *Pass, fd *ast.FuncDecl) {
+	tainted := map[*types.Var]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				if !arenaDerived(pass, as.Rhs[i], tainted) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := pass.Pkg.Info.Defs[id].(*types.Var)
+				if !ok {
+					v, ok = pass.Pkg.Info.Uses[id].(*types.Var)
+				}
+				if ok && v != nil && !v.IsField() && !tainted[v] {
+					tainted[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if !arenaDerived(pass, n.Rhs[i], tainted) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Lhs[i].Pos(),
+						"session arena buffer stored into field %s outlives its session in %s; the storage is recycled at Session.Release (or annotate with //%s hotpath if the field shares the session's lifetime)",
+						types.ExprString(lhs), fd.Name.Name, AllowPrefix)
+				case *ast.Ident:
+					if v, ok := pass.Pkg.Info.Uses[lhs].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						pass.Reportf(n.Lhs[i].Pos(),
+							"session arena buffer stored into package variable %s outlives its session in %s (or annotate with //%s hotpath)",
+							lhs.Name, fd.Name.Name, AllowPrefix)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if arenaDerived(pass, n.Value, tainted) {
+				pass.Reportf(n.Pos(),
+					"session arena buffer sent on a channel escapes its session in %s; the storage is recycled at Session.Release (or annotate with //%s hotpath)",
+					fd.Name.Name, AllowPrefix)
+			}
+		}
+		return true
+	})
+}
+
+// arenaDerived reports whether e evaluates to (or visibly contains) a
+// session arena borrow: a direct Session.Bytes/Grow call, a tainted
+// local, a slice/paren/address-of wrapper over one, or a composite
+// literal embedding one.
+func arenaDerived(pass *Pass, e ast.Expr, tainted map[*types.Var]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := pass.Pkg.Info.Uses[e].(*types.Var)
+		return ok && tainted[v]
+	case *ast.CallExpr:
+		return isSessionBorrow(pass, e)
+	case *ast.SliceExpr:
+		return arenaDerived(pass, e.X, tainted)
+	case *ast.ParenExpr:
+		return arenaDerived(pass, e.X, tainted)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && arenaDerived(pass, e.X, tainted)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if arenaDerived(pass, kv.Value, tainted) {
+					return true
+				}
+			} else if arenaDerived(pass, elt, tainted) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSessionBorrow reports whether call borrows storage from an arena
+// session ((*arena.Session).Bytes or Grow).
+func isSessionBorrow(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	if named(sig.Recv().Type()) != "fractal/internal/arena.Session" {
+		return false
+	}
+	return fn.Name() == "Bytes" || fn.Name() == "Grow"
 }
 
 // hotpathLines collects the lines on which a //fractal:hotpath comment

@@ -328,13 +328,19 @@ func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// inpConnExchanges are the inp.Conn methods that perform network I/O.
+// inpConnExchanges are the inp.Conn methods that perform (or commit the
+// caller to) network I/O. Queue only stages bytes, but a queued frame
+// obligates a Flush on the same conn, so holding a lock across either
+// half of the batched write path is the same discipline violation as
+// holding it across Send.
 var inpConnExchanges = map[string]bool{
 	"Send":      true,
 	"Recv":      true,
 	"RecvInto":  true,
 	"Call":      true,
 	"SendError": true,
+	"Queue":     true,
+	"Flush":     true,
 }
 
 // calleeFunc resolves a call's target to its types.Func, for both

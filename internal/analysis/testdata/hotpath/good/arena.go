@@ -1,0 +1,31 @@
+// arena.go is the arena-escape half of the good fixture: borrows used
+// within their session scope, the documented return-to-caller contract,
+// and one justified allow on an owner that shares the session's lifetime.
+package core
+
+import "fractal/internal/arena"
+
+type sessConn struct {
+	sess *arena.Session
+	body []byte
+}
+
+func newSessConn(sess *arena.Session) *sessConn {
+	c := &sessConn{sess: sess}
+	//fractal:allow hotpath — sessConn and its session share a lifetime; body is recycled with it
+	c.body = sess.Bytes(512)
+	return c
+}
+
+func localUse(sess *arena.Session) int {
+	b := sess.Bytes(64)
+	b = append(b, 1, 2, 3)
+	b = sess.Grow(b, 128)
+	return len(b)
+}
+
+// returnedToCaller hands the borrow up the stack, which the arena
+// contract permits: the slice is documented valid until Release.
+func returnedToCaller(sess *arena.Session) []byte {
+	return sess.Bytes(32)
+}

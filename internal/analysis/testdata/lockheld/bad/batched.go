@@ -1,0 +1,23 @@
+// batched.go extends the bad fixture to the batched write path: Queue
+// stages a frame that obligates a Flush, so holding a lock across either
+// half is the same discipline violation as holding it across Send.
+package client
+
+import (
+	"sync"
+
+	"fractal/internal/inp"
+)
+
+type batchedState struct {
+	mu sync.Mutex
+}
+
+func heldAcrossQueueFlush(s *batchedState, c *inp.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.Queue(inp.MsgInitRep, inp.InitRep{OK: true}); err != nil { //want lockheld:12
+		return err
+	}
+	return c.Flush() //want lockheld:9
+}

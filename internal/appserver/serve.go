@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"fractal/internal/arena"
 	"fractal/internal/core"
 	"fractal/internal/inp"
 )
@@ -120,9 +121,14 @@ func PushAppMetaTCP(proxyAddr string, app core.AppMeta) error {
 	return nil
 }
 
-// ServeConn answers APP_REQ messages until the peer disconnects.
+// ServeConn answers APP_REQ messages until the peer disconnects. The
+// connection's read and body buffers come from one arena session released
+// when it ends, and a request advertising WireVersion >= 2 switches the
+// replies to the INP binary fast path.
 func (s *INPServer) ServeConn(rw net.Conn) error {
-	c := inp.NewConn(rw)
+	sess := arena.AcquireSession()
+	defer sess.Release()
+	c := inp.NewConnSession(rw, sess)
 	for {
 		if s.idle > 0 {
 			//fractal:allow simtime — real socket read deadline, not simulated time
@@ -139,6 +145,9 @@ func (s *INPServer) ServeConn(rw net.Conn) error {
 			}
 			return fmt.Errorf("reading APP_REQ: %w", err)
 		}
+		if req.WireVersion >= inp.Version2 {
+			c.EnableBinary()
+		}
 		if req.AppID != s.app.AppID() {
 			_ = c.SendError(fmt.Sprintf("unknown application %q", req.AppID))
 			continue
@@ -154,7 +163,7 @@ func (s *INPServer) ServeConn(rw net.Conn) error {
 			PADID:    res.PADID,
 			Payload:  res.Payload,
 		}
-		if err := c.Send(inp.MsgAppRep, rep); err != nil {
+		if err := c.Send(inp.MsgAppRep, &rep); err != nil {
 			return fmt.Errorf("sending APP_REP: %w", err)
 		}
 	}

@@ -1,0 +1,263 @@
+// Package arena is the unified buffer arena of the serving path: one
+// size-classed recycling layer under every hot byte buffer — INP frame
+// assembly, codec op buffers, per-connection read buffers, and message
+// body scratch — replacing the per-package sync.Pools that used to each
+// retain their own storage.
+//
+// Two lifetimes are offered:
+//
+//   - Buffer: an append-style builder whose backing storage comes from the
+//     class pools and is recycled on Release (or when growth promotes it to
+//     a larger class). Encoders hold one per writer.
+//   - Session: a lifetime scope acquired when a connection is accepted and
+//     released when it closes. Every borrow (Bytes, Grow) is recorded and
+//     returned to the class pools in one Release call, so per-connection
+//     code never pairs individual gets and puts.
+//
+// Buffers above the largest class fall through to the allocator: a giant
+// PAD module must not pin a megabyte in a pool forever. All pools are
+// package-global and safe for concurrent use; an individual Buffer or
+// Session is single-goroutine, like the connection it serves.
+//
+// The hotpath analyzer's arena-escape check enforces the lifetime rule
+// statically: a session-scoped buffer must not be stored into a field or
+// sent on a channel, because it is recycled at Release and would be
+// overwritten under the escapee.
+package arena
+
+import "sync"
+
+// classSizes are the buffer capacities the arena recycles, tuned to the
+// serving path: 512 B covers negotiation frames and op headers, 4 KB the
+// connection read buffer and typical bodies, 64 KB a large PAD_META_REP or
+// codec op stream, 1 MB the decode-reserve cap used by hostile-header
+// handling across inp and codec.
+var classSizes = [...]int{512, 4 << 10, 64 << 10, 1 << 20}
+
+// box carries a pooled backing array. Pools hold *box so neither Get nor
+// Put boxes a slice header per call; the box travels with its buffer.
+type box struct {
+	b []byte
+}
+
+var classPools [len(classSizes)]sync.Pool
+
+func init() {
+	for i := range classPools {
+		size := classSizes[i]
+		classPools[i] = sync.Pool{New: func() interface{} { return &box{b: make([]byte, 0, size)} }}
+	}
+}
+
+// classFor returns the index of the smallest class with capacity >= n, or
+// -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i, size := range classSizes {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// getBox borrows a box with capacity >= n. Oversized requests get a fresh
+// allocator-backed box that putBox will drop rather than pool.
+//
+//fractal:hotpath every arena borrow on the serving path lands here
+func getBox(n int) *box {
+	ci := classFor(n)
+	if ci < 0 {
+		return &box{b: make([]byte, 0, n)}
+	}
+	bx := classPools[ci].Get().(*box)
+	bx.b = bx.b[:0]
+	return bx
+}
+
+// putBox recycles a box into the pool of the largest class its capacity
+// still satisfies; capacities that match no class are dropped.
+//
+//fractal:hotpath every arena return on the serving path lands here
+func putBox(bx *box) {
+	c := cap(bx.b)
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			if c > classSizes[len(classSizes)-1] {
+				return // oversized: let the allocator reclaim it
+			}
+			bx.b = bx.b[:0]
+			classPools[i].Put(bx)
+			return
+		}
+	}
+}
+
+// Buffer is an append-style byte builder over arena storage. The zero
+// value is ready to use; Write/WriteByte grow it through the size classes,
+// and Release returns the backing storage to the arena. It implements
+// io.Writer and never returns an error.
+type Buffer struct {
+	bx *box
+}
+
+// ensure arranges capacity for n more bytes, promoting to a larger class
+// (copying the contents) when the current backing is full.
+func (w *Buffer) ensure(n int) {
+	if w.bx == nil {
+		w.bx = getBox(n)
+		return
+	}
+	b := w.bx.b
+	if cap(b)-len(b) >= n {
+		return
+	}
+	grown := getBox(len(b) + n)
+	grown.b = append(grown.b, b...)
+	putBox(w.bx)
+	w.bx = grown
+}
+
+// Write implements io.Writer.
+//
+//fractal:hotpath frame and op assembly write through here
+func (w *Buffer) Write(p []byte) (int, error) {
+	w.ensure(len(p))
+	w.bx.b = append(w.bx.b, p...)
+	return len(p), nil
+}
+
+// WriteString appends s without an intermediate []byte conversion.
+//
+//fractal:hotpath binary body strings are appended here
+func (w *Buffer) WriteString(s string) (int, error) {
+	w.ensure(len(s))
+	w.bx.b = append(w.bx.b, s...)
+	return len(s), nil
+}
+
+// WriteByte appends one byte.
+//
+//fractal:hotpath codec op tags are written byte-at-a-time
+func (w *Buffer) WriteByte(c byte) error {
+	w.ensure(1)
+	w.bx.b = append(w.bx.b, c)
+	return nil
+}
+
+// Bytes returns the accumulated bytes. The slice is valid until the next
+// Write, Reset, or Release.
+func (w *Buffer) Bytes() []byte {
+	if w.bx == nil {
+		return nil
+	}
+	return w.bx.b
+}
+
+// SetBytes replaces the accumulated bytes with b, which must be a slice of
+// the buffer's own storage (a truncation or tail cut of Bytes()).
+func (w *Buffer) SetBytes(b []byte) {
+	if w.bx != nil {
+		w.bx.b = b
+	}
+}
+
+// Len reports the accumulated byte count.
+func (w *Buffer) Len() int {
+	if w.bx == nil {
+		return 0
+	}
+	return len(w.bx.b)
+}
+
+// Reset truncates the buffer, keeping its storage for reuse.
+func (w *Buffer) Reset() {
+	if w.bx != nil {
+		w.bx.b = w.bx.b[:0]
+	}
+}
+
+// Release returns the backing storage to the arena. The Buffer remains
+// usable; the next Write borrows fresh storage.
+func (w *Buffer) Release() {
+	if w.bx != nil {
+		putBox(w.bx)
+		w.bx = nil
+	}
+}
+
+// Session is a lifetime scope over arena storage: every borrow is recorded
+// and returned in one Release when the owning connection closes. A Session
+// serves one connection and is not safe for concurrent use.
+type Session struct {
+	boxes []*box
+}
+
+var sessionPool = sync.Pool{New: func() interface{} {
+	return &Session{boxes: make([]*box, 0, 8)}
+}}
+
+// AcquireSession borrows a session scope from the arena. Pair it with
+// Release, typically at connection accept/close.
+func AcquireSession() *Session {
+	return sessionPool.Get().(*Session)
+}
+
+// Release returns every borrowed buffer to the class pools and recycles
+// the session itself. All slices obtained from the session are invalid
+// afterwards.
+func (s *Session) Release() {
+	for i, bx := range s.boxes {
+		putBox(bx)
+		s.boxes[i] = nil
+	}
+	s.boxes = s.boxes[:0]
+	sessionPool.Put(s)
+}
+
+// Bytes borrows a zero-length buffer with capacity >= n, returned to the
+// arena at Release. Growing it beyond its capacity must go through Grow so
+// the session keeps tracking the storage.
+//
+//fractal:hotpath per-connection read and body buffers come from here
+func (s *Session) Bytes(n int) []byte {
+	bx := getBox(n)
+	s.boxes = append(s.boxes, bx)
+	return bx.b
+}
+
+// Grow returns a buffer holding b's bytes with at least n spare capacity,
+// replacing the tracked storage when promotion to a larger class is
+// needed. The argument slice is invalid afterwards; callers must use only
+// the returned slice.
+//
+//fractal:hotpath incremental body growth under hostile-header caps
+func (s *Session) Grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	grown := getBox(len(b) + n)
+	grown.b = append(grown.b, b...)
+	if old := s.findBox(b); old >= 0 {
+		putBox(s.boxes[old])
+		s.boxes[old] = grown
+	} else {
+		s.boxes = append(s.boxes, grown)
+	}
+	return grown.b
+}
+
+// findBox locates the tracked box whose storage backs b, or -1. Sessions
+// hold a handful of buffers, so a linear scan is cheaper than any index.
+func (s *Session) findBox(b []byte) int {
+	if cap(b) == 0 {
+		return -1
+	}
+	probe := &b[:cap(b)][cap(b)-1]
+	for i, bx := range s.boxes {
+		bb := bx.b
+		if cap(bb) == cap(b) && cap(bb) > 0 && &bb[:cap(bb)][cap(bb)-1] == probe {
+			return i
+		}
+	}
+	return -1
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"fractal/internal/arena"
 	"fractal/internal/inp"
 )
 
@@ -97,8 +98,14 @@ func (s *PADServer) Close() error {
 }
 
 // ServeConn answers PAD_DOWNLOAD_REQ messages until the peer disconnects.
+// The connection's buffers come from one arena session, and a request
+// advertising WireVersion >= 2 switches replies to the INP binary fast
+// path, which ships the module bytes raw (no base64) in a zero-copy
+// writev vector.
 func (s *PADServer) ServeConn(rw net.Conn) error {
-	c := inp.NewConn(rw)
+	sess := arena.AcquireSession()
+	defer sess.Release()
+	c := inp.NewConnSession(rw, sess)
 	for {
 		if s.idle > 0 {
 			//fractal:allow simtime — real socket read deadline, not simulated time
@@ -111,6 +118,9 @@ func (s *PADServer) ServeConn(rw net.Conn) error {
 			}
 			return fmt.Errorf("reading PAD_DOWNLOAD_REQ: %w", err)
 		}
+		if req.WireVersion >= inp.Version2 {
+			c.EnableBinary()
+		}
 		path := req.URL
 		if path == "" {
 			path = "/pads/" + req.PADID
@@ -120,7 +130,7 @@ func (s *PADServer) ServeConn(rw net.Conn) error {
 			_ = c.SendError(err.Error())
 			continue
 		}
-		if err := c.Send(inp.MsgPADDownloadRep, inp.PADDownloadRep{PADID: req.PADID, Module: data}); err != nil {
+		if err := c.Send(inp.MsgPADDownloadRep, &inp.PADDownloadRep{PADID: req.PADID, Module: data}); err != nil {
 			return fmt.Errorf("sending PAD_DOWNLOAD_REP: %w", err)
 		}
 	}

@@ -60,8 +60,29 @@ func (t *TCPNegotiator) Negotiate(appID string, env core.Env, sessionRequests in
 	defer conn.Close()
 	c := inp.NewConn(conn)
 	c.SetTimeout(t.CallTimeout)
+	// Pipelined burst: INIT_REQ and CLI_META_REP leave in one write. The
+	// wire still carries Figure 4's messages in order — the client just
+	// does not wait for the CLI_META_REQ template before sending the
+	// metadata it has already probed ("the client gets the content of
+	// DevMeta and NtwkMeta locally"; here, the configured environment). A
+	// fast-path proxy answers all three replies in one vectored write; a
+	// classic proxy simply finds CLI_META_REP already buffered when it
+	// asks for it.
+	// WireVersion advertises the binary fast path: a new proxy answers all
+	// three replies as Version2 binary frames, an old one ignores the field.
+	if err := c.Queue(inp.MsgInitReq,
+		inp.InitReq{AppID: appID, ClientID: t.ClientID, WireVersion: inp.Version2}); err != nil {
+		return nil, fmt.Errorf("client: INIT exchange: %w", err)
+	}
+	if err := c.Queue(inp.MsgCliMetaRep,
+		inp.CliMetaRep{Dev: env.Dev, Ntwk: env.Ntwk, SessionRequests: sessionRequests}); err != nil {
+		return nil, fmt.Errorf("client: metadata exchange: %w", err)
+	}
+	if err := c.Flush(); err != nil {
+		return nil, fmt.Errorf("client: INIT exchange: %w", err)
+	}
 	var initRep inp.InitRep
-	if err := c.Call(inp.MsgInitReq, inp.InitReq{AppID: appID, ClientID: t.ClientID}, inp.MsgInitRep, &initRep); err != nil {
+	if err := c.RecvInto(inp.MsgInitRep, &initRep); err != nil {
 		return nil, fmt.Errorf("client: INIT exchange: %w", err)
 	}
 	if !initRep.OK {
@@ -71,13 +92,8 @@ func (t *TCPNegotiator) Negotiate(appID string, env core.Env, sessionRequests in
 	if err := c.RecvInto(inp.MsgCliMetaReq, &tmpl); err != nil {
 		return nil, fmt.Errorf("client: CLI_META_REQ: %w", err)
 	}
-	// "The client gets the content of DevMeta and NtwkMeta locally by
-	// probing the system" — here the probe is the configured environment.
 	var rep inp.PADMetaRep
-	err = c.Call(inp.MsgCliMetaRep,
-		inp.CliMetaRep{Dev: env.Dev, Ntwk: env.Ntwk, SessionRequests: sessionRequests},
-		inp.MsgPADMetaRep, &rep)
-	if err != nil {
+	if err := c.RecvInto(inp.MsgPADMetaRep, &rep); err != nil {
 		return nil, fmt.Errorf("client: metadata exchange: %w", err)
 	}
 	return rep.PADs, nil
@@ -142,8 +158,10 @@ func (f *TCPPADFetcher) FetchPAD(meta core.PADMeta) ([]byte, error) {
 	c := inp.NewConn(conn)
 	c.SetTimeout(f.CallTimeout)
 	var rep inp.PADDownloadRep
+	// WireVersion advertises the binary fast path; a new PAD server ships
+	// the module raw instead of base64-in-JSON, an old one ignores it.
 	err = c.Call(inp.MsgPADDownloadReq,
-		inp.PADDownloadReq{PADID: meta.ID, URL: meta.URL},
+		&inp.PADDownloadReq{PADID: meta.ID, URL: meta.URL, WireVersion: inp.Version2},
 		inp.MsgPADDownloadRep, &rep)
 	if err != nil {
 		return nil, fmt.Errorf("client: downloading %s: %w", meta.ID, err)
@@ -267,11 +285,14 @@ func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
 	}
 
 	var rep inp.AppRep
+	// Advertise the binary fast path; after the server's first Version2
+	// reply the session's own requests upgrade to binary automatically.
+	req.WireVersion = inp.Version2
 	// sessMu (and only sessMu) is held across this round trip: it is the
 	// exchange-serialization lock, and Close can still interrupt the call
 	// by closing conn under mu.
 	//fractal:allow lockheld sessMu deliberately serializes the INP exchange; Close interrupts via conn.Close
-	if err := c.Call(inp.MsgAppReq, req, inp.MsgAppRep, &rep); err != nil {
+	if err := c.Call(inp.MsgAppReq, &req, inp.MsgAppRep, &rep); err != nil {
 		var pe *inp.PeerError
 		if !errors.As(err, &pe) {
 			s.mu.Lock()

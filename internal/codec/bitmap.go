@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"slices"
+
+	"fractal/internal/arena"
 )
 
 // DefaultBlockSize is the fixed block granularity of the Bitmap protocol.
@@ -100,13 +102,9 @@ func (b *Bitmap) Encode(old, cur []byte) ([]byte, error) {
 	if b.cache != nil && len(old) > 0 {
 		oldSums, curSums = b.BlockDigests(old), b.BlockDigests(cur)
 	}
-	lits := opsBufPool.Get().(*bytes.Buffer)
-	defer func() {
-		if lits.Cap() <= 4*maxDecodeReserve {
-			opsBufPool.Put(lits)
-		}
-	}()
-	lits.Reset()
+	// Literal staging comes from the unified arena (see VaryBlock.Encode).
+	var lits arena.Buffer
+	defer lits.Release()
 	for i := 0; i < nblocks; i++ {
 		start := i * bs
 		end := start + bs

@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"slices"
-	"sync"
 
+	"fractal/internal/arena"
 	"fractal/internal/rabin"
 )
 
@@ -25,21 +25,6 @@ const (
 // bound) must not force a multi-GB allocation before a single op has been
 // checked. Larger outputs grow naturally as ops prove themselves.
 const maxDecodeReserve = 1 << 20
-
-// opsBufPool recycles the per-encode op assembly buffer; encode is the
-// per-request server hot path and the buffer would otherwise regrow from
-// nothing on every call.
-var opsBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
-
-// putOpsBuf returns an op buffer to the pool unless one giant encode grew
-// it past the retention cap (which would pin the capacity forever). A
-// named function rather than a deferred closure so the encode hot path
-// does not allocate a capturing closure per call.
-func putOpsBuf(ops *bytes.Buffer) {
-	if ops.Cap() <= 4*maxDecodeReserve {
-		opsBufPool.Put(ops)
-	}
-}
 
 // VaryBlock is the LBFS-style vary-sized blocking protocol [34]: files are
 // divided into chunks demarcated where the Rabin fingerprint of the
@@ -121,9 +106,12 @@ func (v *VaryBlock) indexOf(data []byte) *ChunkIndex {
 func (v *VaryBlock) Encode(old, cur []byte) ([]byte, error) {
 	oldIdx := v.indexOf(old)
 	curIdx := v.indexOf(cur)
-	ops := opsBufPool.Get().(*bytes.Buffer)
-	defer putOpsBuf(ops)
-	ops.Reset()
+	// The op assembly buffer comes from the unified arena: its size classes
+	// replace the codec's old private pool, and the arena's retention policy
+	// (oversized backings fall through to the allocator) replaces the old
+	// per-pool cap.
+	var ops arena.Buffer
+	defer ops.Release()
 	var tmp [binary.MaxVarintLen64]byte
 	for i, c := range curIdx.Chunks {
 		if j, ok := oldIdx.Lookup(curIdx.Sums[i]); ok && oldIdx.Chunks[j].Length == c.Length {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"fractal/internal/arena"
 )
 
 // PeerError is an in-band MsgError reported by the peer. It is a typed
@@ -38,25 +40,73 @@ type deadlineRW interface {
 // Conn is a sequential INP endpoint over a byte stream: it stamps outgoing
 // sequence numbers, verifies that inbound sequence numbers advance by
 // exactly one per frame (rejecting stale or duplicated frames), and offers
-// a call helper for the request/response pattern of Figure 4. A Conn
+// a call helper for the request/response pattern of Figure 4. Writes are
+// batched through a FrameWriter: Queue stages frames and Flush emits the
+// burst as one vectored write, so a pipelined phase costs one syscall per
+// direction (Send is Queue+Flush for the single-frame case). A Conn
 // serves one session and is not safe for concurrent use.
 type Conn struct {
-	rw      io.ReadWriter
+	rw io.ReadWriter
+	// r is the read side: rw directly, or the session read buffer.
+	r       io.Reader
+	fw      FrameWriter
+	brd     bufReader
+	sess    *arena.Session
+	body    []byte // session-scoped reusable body buffer
 	seq     uint32
 	peerSeq uint32
 	// timeout, when nonzero and rw supports deadlines, bounds each
 	// individual read and write so a stalled peer cannot block a call
 	// forever.
 	timeout time.Duration
+	// binary records that the peer has proven Version2 support (it sent a
+	// v2 frame, or advertised WireVersion >= 2 and the server called
+	// EnableBinary); hot bodies are then emitted with the binary codec.
+	binary bool
 }
 
 // NewConn wraps a byte stream (typically a net.Conn).
-func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{rw: rw, r: rw}
+	c.fw.init(rw)
+	return c
+}
+
+// NewConnSession wraps a byte stream with session-scoped buffering: reads
+// go through an arena-backed buffer (enabling pipeline detection via
+// InputPending) and message bodies reuse one arena buffer across Recvs,
+// so the raw slice returned by Recv is valid only until the next Recv.
+// The caller owns sess and releases it after the Conn is abandoned.
+func NewConnSession(rw io.ReadWriter, sess *arena.Session) *Conn {
+	c := NewConn(rw)
+	c.sess = sess
+	b := sess.Bytes(readBufSize)
+	//fractal:allow hotpath — the Conn and its session share a lifetime; the caller releases sess only after abandoning the Conn
+	c.brd = bufReader{src: rw, buf: b[:readBufSize]}
+	c.r = &c.brd
+	return c
+}
 
 // SetTimeout arms a per-operation I/O deadline: every subsequent send or
 // receive must complete within d. It is a no-op if the underlying stream
 // has no deadline support. Zero disables the bound.
 func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// EnableBinary switches hot body types to the Version2 binary codec.
+// Servers call it after a request advertises WireVersion >= Version2;
+// clients normally never call it — they upgrade automatically when the
+// peer answers with a Version2 frame.
+func (c *Conn) EnableBinary() { c.binary = true }
+
+// BinaryEnabled reports whether hot bodies are being sent in binary.
+func (c *Conn) BinaryEnabled() bool { return c.binary }
+
+// InputPending reports whether undrained inbound bytes already sit in the
+// session read buffer — i.e. the peer pipelined another frame behind the
+// one just consumed. Always false on conns without a session.
+func (c *Conn) InputPending() bool {
+	return c.sess != nil && c.brd.buffered() > 0
+}
 
 // armRead applies the per-operation read deadline, if any.
 func (c *Conn) armRead() {
@@ -78,27 +128,103 @@ func (c *Conn) armWrite() {
 	}
 }
 
+// Queue frames one message with the next sequence number into the write
+// batch; nothing reaches the stream until Flush. Hot body types use the
+// binary codec once the peer has proven Version2 support.
+func (c *Conn) Queue(t MsgType, body interface{}) error {
+	c.seq++
+	h := Header{Version: Version, Type: t, Seq: c.seq}
+	if c.binary && binaryMsgType(t) && binaryEncodable(t, body) {
+		h.Version = Version2
+	}
+	return c.fw.WriteMessage(h, body)
+}
+
+// Flush writes the queued batch as one vectored write.
+func (c *Conn) Flush() error {
+	c.armWrite()
+	return c.fw.Flush()
+}
+
 // Send frames and writes one message with the next sequence number.
 func (c *Conn) Send(t MsgType, body interface{}) error {
-	c.seq++
-	c.armWrite()
-	return WriteMessage(c.rw, Header{Version: Version, Type: t, Seq: c.seq}, body)
+	if err := c.Queue(t, body); err != nil {
+		return err
+	}
+	return c.Flush()
 }
 
 // Recv reads the next message and verifies its sequence number advances
 // the peer's stream by exactly one, so a duplicated or stale frame can
-// never be accepted as the answer to a newer request.
+// never be accepted as the answer to a newer request. On session conns
+// the returned raw body is valid only until the next Recv.
 func (c *Conn) Recv() (Header, []byte, error) {
 	c.armRead()
-	h, raw, err := ReadMessage(c.rw)
+	var h Header
+	var raw []byte
+	var err error
+	if c.sess != nil {
+		h, raw, err = c.readReuse()
+	} else {
+		h, raw, err = ReadMessage(c.r)
+	}
 	if err != nil {
 		return h, raw, err
+	}
+	if h.Version >= Version2 {
+		// The peer emits v2 frames, so it decodes them too: upgrade.
+		c.binary = true
 	}
 	if h.Seq != c.peerSeq+1 {
 		return h, raw, fmt.Errorf("%w: got %v seq %d, expected %d", ErrSeqMismatch, h.Type, h.Seq, c.peerSeq+1)
 	}
 	c.peerSeq = h.Seq
 	return h, raw, nil
+}
+
+// readReuse reads one frame into the connection's session-scoped body
+// buffer, growing it through the arena under the same incremental
+// reservation cap as ReadMessage (a hostile header alone cannot size a
+// 64 MB allocation).
+//
+//fractal:hotpath the server read path reuses the session body buffer
+func (c *Conn) readReuse() (Header, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("inp: reading header: %w", err)
+	}
+	h, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if c.body == nil {
+		reserve := n
+		if reserve > maxBodyReserve {
+			reserve = maxBodyReserve
+		}
+		//fractal:allow hotpath — body shares the Conn's session lifetime (see NewConnSession)
+		c.body = c.sess.Bytes(int(reserve))
+	}
+	body := c.body[:0]
+	for len(body) < int(n) {
+		step := int(n) - len(body)
+		if step > maxBodyReserve {
+			step = maxBodyReserve
+		}
+		off := len(body)
+		if cap(body)-off < step {
+			body = c.sess.Grow(body, step)
+		}
+		body = body[:off+step]
+		if _, err := io.ReadFull(c.r, body[off:]); err != nil {
+			//fractal:allow hotpath — body shares the Conn's session lifetime; kept so grown storage is reused
+			c.body = body[:0]
+			return Header{}, nil, fmt.Errorf("inp: reading %v body: %w", h.Type, err)
+		}
+	}
+	//fractal:allow hotpath — body shares the Conn's session lifetime (see NewConnSession)
+	c.body = body
+	return h, body, nil
 }
 
 // RecvInto reads the next message, requires it to be of the wanted type,
@@ -117,6 +243,9 @@ func (c *Conn) RecvInto(want MsgType, reply interface{}) error {
 	}
 	if h.Type != want {
 		return fmt.Errorf("inp: expected %v, got %v", want, h.Type)
+	}
+	if h.Version >= Version2 {
+		return decodeBinaryBody(h.Type, raw, reply)
 	}
 	return DecodeBody(raw, reply)
 }

@@ -6,7 +6,6 @@
 package inp
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -14,6 +13,7 @@ import (
 	"slices"
 	"sync"
 
+	"fractal/internal/arena"
 	"fractal/internal/core"
 )
 
@@ -82,34 +82,66 @@ type Header struct {
 	Seq     uint32
 }
 
-// frameBuffer is a pooled encode buffer with a JSON encoder bound to it,
-// so a frame is assembled (header + body) and written in one Write with no
-// per-message allocations on the steady state.
-type frameBuffer struct {
-	buf bytes.Buffer
+// encodeState is a pooled frame-assembly buffer with a JSON encoder bound
+// to it, so a frame (header + body) is built contiguously with no
+// per-message allocations on the steady state. Its storage comes from the
+// arena and is returned on put, so the retention policy (size classes,
+// oversized frames dropped) lives in one place.
+type encodeState struct {
+	buf arena.Buffer
 	enc *json.Encoder
 }
 
-// maxPooledFrame caps how large a buffer the pool retains; oversized
-// frames (PAD module downloads) are returned to the allocator instead of
-// pinning their capacity forever.
-const maxPooledFrame = 64 << 10
-
-var framePool = sync.Pool{New: func() interface{} {
-	f := &frameBuffer{}
-	f.enc = json.NewEncoder(&f.buf)
-	return f
+var encPool = sync.Pool{New: func() interface{} {
+	es := &encodeState{}
+	es.enc = json.NewEncoder(&es.buf)
+	return es
 }}
 
 var zeroHeader [headerLen]byte
 
-// putFrame returns a frame buffer to the pool unless it grew past the
-// retention cap. A named function rather than a deferred closure so the
-// hot framing path does not allocate a capturing closure per message.
-func putFrame(f *frameBuffer) {
-	if f.buf.Cap() <= maxPooledFrame {
-		framePool.Put(f)
+// putEncState returns an encode state to the pool. A named function rather
+// than a deferred closure so the hot framing path does not allocate a
+// capturing closure per message.
+func putEncState(es *encodeState) {
+	es.buf.Release()
+	encPool.Put(es)
+}
+
+// patchHeader backfills a reserved header slot once the body length is
+// known.
+func patchHeader(hdr []byte, h Header, n uint32) {
+	copy(hdr[0:4], magic[:])
+	hdr[4] = h.Version
+	hdr[5] = uint8(h.Type)
+	binary.BigEndian.PutUint32(hdr[8:12], h.Seq)
+	binary.BigEndian.PutUint32(hdr[12:16], n)
+}
+
+// appendFrameJSON appends one complete framed JSON message to buf; enc
+// must be the encoder bound to buf. On error the buffer is restored to its
+// prior length, so a batch of already-queued frames survives intact.
+//
+//fractal:hotpath every JSON frame is assembled here
+func appendFrameJSON(buf *arena.Buffer, enc *json.Encoder, h Header, body interface{}) error {
+	start := buf.Len()
+	buf.Write(zeroHeader[:]) // reserve the header slot
+	// Encoder.Encode emits exactly json.Marshal's bytes plus one newline,
+	// so the frames stay byte-identical to the unpooled encoding.
+	if err := enc.Encode(body); err != nil {
+		buf.SetBytes(buf.Bytes()[:start])
+		return fmt.Errorf("inp: encoding %v body: %w", h.Type, err)
 	}
+	frame := buf.Bytes()
+	frame = frame[:len(frame)-1] // drop the encoder's trailing newline
+	buf.SetBytes(frame)
+	n := len(frame) - start - headerLen
+	if n > MaxBody {
+		buf.SetBytes(frame[:start])
+		return fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, n)
+	}
+	patchHeader(frame[start:start+headerLen], h, uint32(n))
+	return nil
 }
 
 // WriteMessage frames and writes one message as a single Write call.
@@ -119,27 +151,12 @@ func WriteMessage(w io.Writer, h Header, body interface{}) error {
 	if h.Type == MsgInvalid || h.Type >= msgMax {
 		return fmt.Errorf("inp: cannot write message of type %v", h.Type)
 	}
-	f := framePool.Get().(*frameBuffer)
-	defer putFrame(f)
-	f.buf.Reset()
-	f.buf.Write(zeroHeader[:]) // reserve the header slot
-	// Encoder.Encode emits exactly json.Marshal's bytes plus one newline,
-	// so the frames stay byte-identical to the unpooled encoding.
-	if err := f.enc.Encode(body); err != nil {
-		return fmt.Errorf("inp: encoding %v body: %w", h.Type, err)
+	es := encPool.Get().(*encodeState)
+	defer putEncState(es)
+	if err := appendFrameJSON(&es.buf, es.enc, h, body); err != nil {
+		return err
 	}
-	frame := f.buf.Bytes()
-	frame = frame[:len(frame)-1] // drop the encoder's trailing newline
-	raw := frame[headerLen:]
-	if len(raw) > MaxBody {
-		return fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, len(raw))
-	}
-	copy(frame[0:4], magic[:])
-	frame[4] = h.Version
-	frame[5] = uint8(h.Type)
-	binary.BigEndian.PutUint32(frame[8:12], h.Seq)
-	binary.BigEndian.PutUint32(frame[12:16], uint32(len(raw)))
-	if _, err := w.Write(frame); err != nil {
+	if _, err := w.Write(es.buf.Bytes()); err != nil {
 		return fmt.Errorf("inp: writing %v frame: %w", h.Type, err)
 	}
 	return nil
@@ -151,6 +168,27 @@ func WriteMessage(w io.Writer, h Header, body interface{}) error {
 // header alone cannot size a 64 MB allocation.
 const maxBodyReserve = 1 << 20
 
+// parseHeader validates a raw header and returns it with the body length.
+// Version 1 is accepted on every type; Version2 only on the hot types
+// that have a binary body codec.
+func parseHeader(hdr []byte) (Header, uint32, error) {
+	if [4]byte(hdr[0:4]) != magic {
+		return Header{}, 0, fmt.Errorf("inp: bad magic %q", hdr[0:4])
+	}
+	h := Header{Version: hdr[4], Type: MsgType(hdr[5]), Seq: binary.BigEndian.Uint32(hdr[8:12])}
+	if h.Version != Version && !(h.Version == Version2 && binaryMsgType(h.Type)) {
+		return Header{}, 0, fmt.Errorf("inp: unsupported protocol version %d", h.Version)
+	}
+	if h.Type == MsgInvalid || h.Type >= msgMax {
+		return Header{}, 0, fmt.Errorf("inp: unknown message type %d", hdr[5])
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > MaxBody {
+		return Header{}, 0, fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, n)
+	}
+	return h, n, nil
+}
+
 // ReadMessage reads one framed message, returning its header and raw body.
 //
 //fractal:hotpath every INP exchange reads through here
@@ -159,19 +197,9 @@ func ReadMessage(r io.Reader) (Header, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Header{}, nil, fmt.Errorf("inp: reading header: %w", err)
 	}
-	if [4]byte(hdr[0:4]) != magic {
-		return Header{}, nil, fmt.Errorf("inp: bad magic %q", hdr[0:4])
-	}
-	h := Header{Version: hdr[4], Type: MsgType(hdr[5]), Seq: binary.BigEndian.Uint32(hdr[8:12])}
-	if h.Version != Version {
-		return Header{}, nil, fmt.Errorf("inp: unsupported protocol version %d", h.Version)
-	}
-	if h.Type == MsgInvalid || h.Type >= msgMax {
-		return Header{}, nil, fmt.Errorf("inp: unknown message type %d", hdr[5])
-	}
-	n := binary.BigEndian.Uint32(hdr[12:16])
-	if n > MaxBody {
-		return Header{}, nil, fmt.Errorf("inp: %v body of %d bytes exceeds limit", h.Type, n)
+	h, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, err
 	}
 	reserve := n
 	if reserve > maxBodyReserve {
@@ -209,6 +237,10 @@ type InitReq struct {
 	AppID    string `json:"app_id"`
 	Resource string `json:"resource"`
 	ClientID string `json:"client_id,omitempty"`
+	// WireVersion advertises the highest INP body encoding the client can
+	// decode. Old decoders ignore the field; omitempty keeps old frames
+	// byte-identical.
+	WireVersion int `json:"inp_version,omitempty"`
 }
 
 // InitRep acknowledges INIT_REQ.
@@ -242,6 +274,10 @@ type PADMetaRep struct {
 type PADDownloadReq struct {
 	PADID string `json:"pad_id"`
 	URL   string `json:"url"`
+	// WireVersion advertises the highest INP frame version the requester
+	// decodes (0 or 1 = JSON only). Old peers' JSON decoders ignore the
+	// field; new peers answer hot replies in binary when it is >= Version2.
+	WireVersion int `json:"inp_version,omitempty"`
 }
 
 // PADDownloadRep returns the packed mobile-code module.
@@ -259,6 +295,9 @@ type AppReq struct {
 	// HaveVersion tells the server which version of the resource the
 	// client already holds (0 = none), enabling differential encoding.
 	HaveVersion int `json:"have_version"`
+	// WireVersion advertises the highest INP frame version the requester
+	// decodes, as on PADDownloadReq.
+	WireVersion int `json:"inp_version,omitempty"`
 }
 
 // AppRep returns the adapted application content.

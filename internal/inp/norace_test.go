@@ -1,0 +1,5 @@
+//go:build !race
+
+package inp
+
+const raceEnabled = false

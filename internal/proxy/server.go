@@ -3,11 +3,13 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 	"time"
 
+	"fractal/internal/arena"
 	"fractal/internal/core"
 	"fractal/internal/inp"
 )
@@ -131,64 +133,119 @@ func (s *Server) Close() error {
 	return err
 }
 
-// ServeConn runs one session over an established connection: either a
-// client negotiation (INIT_REQ) or an application server's topology push
-// (APP_META_PUSH).
+// ServeConn serves sessions over an established connection until the
+// peer disconnects: any number of client negotiations (INIT_REQ) — the
+// connection is persistent, so a client can run session after session
+// without paying a dial per negotiation — or application-server topology
+// pushes (APP_META_PUSH). The connection's buffers come from one arena
+// session released when the connection is done, and a client that
+// pipelines CLI_META_REP behind INIT_REQ gets the whole negotiation
+// phase answered in a single vectored write (the serving fast path).
 func (s *Server) ServeConn(rw net.Conn) error {
-	c := inp.NewConn(rw)
+	sess := arena.AcquireSession()
+	defer sess.Release()
+	c := inp.NewConnSession(rw, sess)
 
-	s.armDeadline(rw)
-	h, raw, err := c.Recv()
-	if err != nil {
-		return fmt.Errorf("reading first message: %w", err)
-	}
-	switch h.Type {
-	case inp.MsgAppMetaPush:
-		var push inp.AppMetaPush
-		if err := inp.DecodeBody(raw, &push); err != nil {
-			return err
+	for first := true; ; first = false {
+		s.armDeadline(rw)
+		h, raw, err := c.Recv()
+		if err != nil {
+			if !first && errors.Is(err, io.EOF) {
+				// Clean disconnect at a session boundary ends the
+				// persistent connection.
+				return nil
+			}
+			if first {
+				return fmt.Errorf("reading first message: %w", err)
+			}
+			return fmt.Errorf("reading next session: %w", err)
 		}
-		if err := s.proxy.PushAppMeta(push.App); err != nil {
-			_ = c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: false, Reason: err.Error()})
-			return err
+		switch h.Type {
+		case inp.MsgAppMetaPush:
+			var push inp.AppMetaPush
+			if err := inp.DecodeBody(raw, &push); err != nil {
+				return err
+			}
+			if err := s.proxy.PushAppMeta(push.App); err != nil {
+				_ = c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: false, Reason: err.Error()})
+				return err
+			}
+			if err := c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: true}); err != nil {
+				return err
+			}
+		case inp.MsgInitReq:
+			if err := s.negotiate(c, rw, h, raw); err != nil {
+				return err
+			}
+		default:
+			_ = c.SendError(fmt.Sprintf("unexpected %v to open a session", h.Type))
+			return fmt.Errorf("unexpected opening message %v", h.Type)
 		}
-		return c.Send(inp.MsgAppMetaAck, inp.AppMetaAck{OK: true})
-	case inp.MsgInitReq:
-		// negotiation continues below
-	default:
-		_ = c.SendError(fmt.Sprintf("unexpected %v to open a session", h.Type))
-		return fmt.Errorf("unexpected opening message %v", h.Type)
 	}
+}
 
+// negotiate runs one Figure 4 exchange whose opening INIT_REQ has just
+// been read into raw.
+func (s *Server) negotiate(c *inp.Conn, rw net.Conn, h inp.Header, raw []byte) error {
+	// Decode before any further Recv: the raw slice is session-scoped and
+	// the next frame overwrites it.
 	var initReq inp.InitReq
-	if err := inp.DecodeBody(raw, &initReq); err != nil {
+	if err := inp.DecodeRaw(h, raw, &initReq); err != nil {
 		return fmt.Errorf("reading INIT_REQ: %w", err)
+	}
+	// A client advertising Version2 decodes binary bodies, so every hot
+	// reply from here on ships on the binary fast path.
+	if initReq.WireVersion >= inp.Version2 {
+		c.EnableBinary()
+	}
+	// A pipelined client has already flushed CLI_META_REP behind INIT_REQ;
+	// drain it before any refusal so an error reply is not lost to a
+	// connection reset over unread input, and before the fast-path reply
+	// burst below.
+	fast := c.InputPending()
+	var meta inp.CliMetaRep
+	if fast {
+		if err := c.RecvInto(inp.MsgCliMetaRep, &meta); err != nil {
+			return fmt.Errorf("reading pipelined CLI_META_REP: %w", err)
+		}
 	}
 	if initReq.AppID == "" {
 		_ = c.SendError("INIT_REQ missing application id")
 		return errors.New("INIT_REQ missing application id")
 	}
-	if err := c.Send(inp.MsgInitRep, inp.InitRep{OK: true}); err != nil {
+	if err := c.Queue(inp.MsgInitRep, inp.InitRep{OK: true}); err != nil {
 		return fmt.Errorf("sending INIT_REP: %w", err)
 	}
 	// Empty templates for the client to fill by probing its system.
-	if err := c.Send(inp.MsgCliMetaReq, inp.CliMetaReq{}); err != nil {
+	if err := c.Queue(inp.MsgCliMetaReq, inp.CliMetaReq{}); err != nil {
 		return fmt.Errorf("sending CLI_META_REQ: %w", err)
 	}
-
-	s.armDeadline(rw)
-	var meta inp.CliMetaRep
-	if err := c.RecvInto(inp.MsgCliMetaRep, &meta); err != nil {
-		return fmt.Errorf("reading CLI_META_REP: %w", err)
+	if !fast {
+		// Classic exchange: flush the two requests, wait for the client's
+		// metadata before the negotiation answer.
+		if err := c.Flush(); err != nil {
+			return fmt.Errorf("sending INIT_REP: %w", err)
+		}
+		s.armDeadline(rw)
+		if err := c.RecvInto(inp.MsgCliMetaRep, &meta); err != nil {
+			return fmt.Errorf("reading CLI_META_REP: %w", err)
+		}
 	}
 
 	env := core.Env{Dev: meta.Dev, Ntwk: meta.Ntwk}
 	pads, err := s.proxy.NegotiateFor(initReq.ClientID, initReq.AppID, env, meta.SessionRequests)
 	if err != nil {
+		// SendError flushes any queued fast-path replies ahead of the
+		// error frame, keeping the stream sequential for the client.
 		_ = c.SendError(err.Error())
 		return err
 	}
-	if err := c.Send(inp.MsgPADMetaRep, inp.PADMetaRep{PADs: pads}); err != nil {
+	if err := c.Queue(inp.MsgPADMetaRep, inp.PADMetaRep{PADs: pads}); err != nil {
+		return fmt.Errorf("sending PAD_META_REP: %w", err)
+	}
+	// On the fast path this single flush answers INIT_REP, CLI_META_REQ,
+	// and PAD_META_REP in one vectored write.
+	if err := c.Flush(); err != nil {
 		return fmt.Errorf("sending PAD_META_REP: %w", err)
 	}
 	return nil
