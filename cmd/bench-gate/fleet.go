@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Fleet-snapshot gating: `fractal-bench -mode fleet -json` emits an
+// envelope whose "fleet" section holds one row per shard count, all of
+// whose latency and throughput figures come from the harness's simulated
+// clock. Simulated figures are a pure function of (config, seed), so
+// unlike the wall-clock benchmark gate the fleet gate can be tight: a
+// fresh run on any machine should reproduce the committed snapshot almost
+// exactly, and a p99 drift beyond a few percent means the serving model
+// or the routing actually changed.
+//
+// The gate checks three things:
+//
+//   - p99: candidate p99_ns <= max-fleet-p99-ratio x snapshot p99_ns, per
+//     matched row (rows match on shards+sessions+profiles+arrival+seed+
+//     repushes+replicas).
+//   - allocations: candidate allocs_per_session <= max-fleet-allocs-ratio
+//     x snapshot, per matched row — the drive loop staying allocation-flat
+//     is the point of the SoA session table.
+//   - scaling: within the candidate, sim_sessions_per_sec at the widest
+//     shard count >= min-fleet-scale x the narrowest. This pins the tier's
+//     reason to exist.
+
+// fleetEnvelope is the subset of fractal-bench's -json envelope the gate
+// reads.
+type fleetEnvelope struct {
+	Sections []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	} `json:"sections"`
+}
+
+// fleetRow is one parsed summary row of the "fleet" section.
+type fleetRow struct {
+	Shards            int
+	Key               string // config identity: shards|sessions|profiles|arrival|seed|repushes|replicas
+	SimSessionsPerSec float64
+	P99               float64
+	AllocsPerSession  float64
+}
+
+// parseFleetRows extracts the "fleet" section rows from an envelope.
+func parseFleetRows(r io.Reader, src string) ([]fleetRow, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var env fleetEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", src, err)
+	}
+	for _, sec := range env.Sections {
+		if sec.ID != "fleet" {
+			continue
+		}
+		if len(sec.Rows) < 2 {
+			return nil, fmt.Errorf("%s: fleet section has no data rows", src)
+		}
+		col := map[string]int{}
+		for i, name := range sec.Rows[0] {
+			col[name] = i
+		}
+		for _, name := range []string{"shards", "sessions", "profiles", "arrival", "seed", "repushes", "replicas",
+			"sim_sessions_per_sec", "p99_ns", "allocs_per_session"} {
+			if _, ok := col[name]; !ok {
+				return nil, fmt.Errorf("%s: fleet section lacks column %q", src, name)
+			}
+		}
+		var rows []fleetRow
+		for _, raw := range sec.Rows[1:] {
+			shards, err := strconv.Atoi(raw[col["shards"]])
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad shards %q", src, raw[col["shards"]])
+			}
+			get := func(name string) (float64, error) {
+				return strconv.ParseFloat(raw[col[name]], 64)
+			}
+			sps, err := get("sim_sessions_per_sec")
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad sim_sessions_per_sec: %w", src, err)
+			}
+			p99, err := get("p99_ns")
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad p99_ns: %w", src, err)
+			}
+			allocs, err := get("allocs_per_session")
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad allocs_per_session: %w", src, err)
+			}
+			rows = append(rows, fleetRow{
+				Shards: shards,
+				Key: raw[col["shards"]] + "|" + raw[col["sessions"]] + "|" + raw[col["profiles"]] + "|" +
+					raw[col["arrival"]] + "|" + raw[col["seed"]] + "|" + raw[col["repushes"]] + "|" + raw[col["replicas"]],
+				SimSessionsPerSec: sps,
+				P99:               p99,
+				AllocsPerSession:  allocs,
+			})
+		}
+		return rows, nil
+	}
+	return nil, fmt.Errorf("%s: no \"fleet\" section (not a -mode fleet -json envelope?)", src)
+}
+
+// runFleetGate compares a candidate fleet envelope against the committed
+// snapshot and enforces the scaling floor. Returns the number of failures
+// (0 = gate passes).
+func runFleetGate(snapshotPath, candidatePath string, p99Ratio, allocsRatio, minScale float64) int {
+	sf, err := os.Open(snapshotPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer sf.Close()
+	snapRows, err := parseFleetRows(sf, snapshotPath)
+	if err != nil {
+		fatal(err)
+	}
+	snap := map[string]fleetRow{}
+	for _, r := range snapRows {
+		snap[r.Key] = r
+	}
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if candidatePath != "" {
+		f, err := os.Open(candidatePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		src = candidatePath
+	}
+	candRows, err := parseFleetRows(in, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	failures, matched := 0, 0
+	for _, c := range candRows {
+		base, ok := snap[c.Key]
+		if !ok {
+			fmt.Printf("fleet %-44s no snapshot row (skipped)\n", c.Key)
+			continue
+		}
+		matched++
+		status := "ok"
+		if base.P99 > 0 && c.P99 > base.P99*p99Ratio {
+			status = fmt.Sprintf("FAIL p99 %.0fns > %.2fx snapshot %.0fns", c.P99, p99Ratio, base.P99)
+			failures++
+		} else if base.AllocsPerSession > 0 && c.AllocsPerSession > base.AllocsPerSession*allocsRatio {
+			status = fmt.Sprintf("FAIL allocs/session %.2f > %.2fx snapshot %.2f", c.AllocsPerSession, allocsRatio, base.AllocsPerSession)
+			failures++
+		}
+		fmt.Printf("fleet %-44s p99 %12.0fns (base %.0f)  %.2f allocs/session (base %.2f)  %s\n",
+			c.Key, c.P99, base.P99, c.AllocsPerSession, base.AllocsPerSession, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "bench-gate: no candidate fleet row matched any snapshot row — config drift?")
+		return 1
+	}
+
+	// Scaling floor across the candidate's own sweep.
+	if minScale > 0 {
+		lo, hi := candRows[0], candRows[0]
+		for _, r := range candRows[1:] {
+			if r.Shards < lo.Shards {
+				lo = r
+			}
+			if r.Shards > hi.Shards {
+				hi = r
+			}
+		}
+		if lo.Shards == hi.Shards {
+			fmt.Fprintln(os.Stderr, "bench-gate: candidate sweeps a single shard count; cannot check scaling")
+			failures++
+		} else if lo.SimSessionsPerSec <= 0 {
+			fmt.Fprintln(os.Stderr, "bench-gate: zero baseline throughput in candidate")
+			failures++
+		} else {
+			scale := hi.SimSessionsPerSec / lo.SimSessionsPerSec
+			status := "ok"
+			if scale < minScale {
+				status = fmt.Sprintf("FAIL < %.1fx floor", minScale)
+				failures++
+			}
+			fmt.Printf("fleet scaling %d->%d shards: %.2fx sim sessions/sec  %s\n", lo.Shards, hi.Shards, scale, status)
+		}
+	}
+	return failures
+}

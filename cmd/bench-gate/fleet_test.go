@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fleetJSON renders a minimal fractal-bench fleet envelope with the given
+// (shards, sps, p99, allocs) rows.
+func fleetJSON(rows ...[4]string) string {
+	var b strings.Builder
+	b.WriteString(`{"goos":"linux","goarch":"amd64","gomaxprocs":1,"nproc":1,"sections":[{"id":"fleet","title":"t","rows":[`)
+	b.WriteString(`["shards","sessions","profiles","arrival","seed","repushes","replicas","makespan_ns","sim_sessions_per_sec","wall_sessions_per_sec","p50_ns","p99_ns","p999_ns","max_ns","hit_rate","collapse_rate","allocs_per_session","invalidations","suppressed","replicated_fills"]`)
+	for _, r := range rows {
+		fmt.Fprintf(&b, `,["%s","1000000","4096","constant","2005","0","1","1","%s","1","1","%s","1","1","0.99","0.0","%s","1","0","0"]`,
+			r[0], r[1], r[2], r[3])
+	}
+	b.WriteString(`]}]}`)
+	return b.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFleetRows(t *testing.T) {
+	doc := fleetJSON([4]string{"1", "68960", "12501147892", "1.04"}, [4]string{"8", "499966", "251658239", "1.04"})
+	rows, err := parseFleetRows(strings.NewReader(doc), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[0].P99 != 12501147892 || rows[0].AllocsPerSession != 1.04 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Key != "8|1000000|4096|constant|2005|0|1" {
+		t.Errorf("row 1 key = %q", rows[1].Key)
+	}
+
+	if _, err := parseFleetRows(strings.NewReader(`{"sections":[]}`), "test"); err == nil {
+		t.Error("envelope without a fleet section accepted")
+	}
+	if _, err := parseFleetRows(strings.NewReader(`{"sections":[{"id":"fleet","rows":[["shards"]]}]}`), "test"); err == nil {
+		t.Error("fleet section with no data rows accepted")
+	}
+	noCol := strings.Replace(fleetJSON([4]string{"1", "1", "1", "1"}), `"p99_ns"`, `"p98_ns"`, 1)
+	if _, err := parseFleetRows(strings.NewReader(noCol), "test"); err == nil {
+		t.Error("fleet section missing p99_ns column accepted")
+	}
+}
+
+func TestRunFleetGate(t *testing.T) {
+	snap := writeTemp(t, "snap.json",
+		fleetJSON([4]string{"1", "68960", "12501147892", "1.04"}, [4]string{"8", "499966", "251658239", "1.04"}))
+
+	run := func(candidate string, p99Ratio, allocsRatio, minScale float64) int {
+		return runFleetGate(snap, writeTemp(t, "cand.json", candidate), p99Ratio, allocsRatio, minScale)
+	}
+
+	// Identical candidate passes all gates.
+	identical := fleetJSON([4]string{"1", "68960", "12501147892", "1.04"}, [4]string{"8", "499966", "251658239", "1.04"})
+	if got := run(identical, 1.05, 1.5, 6.0); got != 0 {
+		t.Errorf("identical candidate failed with %d failures", got)
+	}
+
+	// p99 regression on the 8-shard row.
+	slow := fleetJSON([4]string{"1", "68960", "12501147892", "1.04"}, [4]string{"8", "499966", "400000000", "1.04"})
+	if got := run(slow, 1.05, 1.5, 6.0); got != 1 {
+		t.Errorf("p99 regression produced %d failures, want 1", got)
+	}
+
+	// Allocation growth on both rows.
+	leaky := fleetJSON([4]string{"1", "68960", "12501147892", "2.5"}, [4]string{"8", "499966", "251658239", "2.5"})
+	if got := run(leaky, 1.05, 1.5, 6.0); got != 2 {
+		t.Errorf("alloc growth produced %d failures, want 2", got)
+	}
+
+	// Scaling collapse: 8 shards no faster than 1.
+	flat := fleetJSON([4]string{"1", "68960", "12501147892", "1.04"}, [4]string{"8", "70000", "251658239", "1.04"})
+	if got := run(flat, 1.05, 1.5, 6.0); got != 1 {
+		t.Errorf("scaling collapse produced %d failures, want 1", got)
+	}
+	if got := run(flat, 1.05, 1.5, 0); got != 0 {
+		t.Errorf("minScale=0 should disable the scaling check, got %d failures", got)
+	}
+
+	// No matching rows (different seed): hard failure.
+	drifted := strings.ReplaceAll(identical, `"2005"`, `"2006"`)
+	if got := run(drifted, 1.05, 1.5, 6.0); got != 1 {
+		t.Errorf("config drift produced %d failures, want 1", got)
+	}
+
+	// Single shard count cannot prove scaling.
+	single := fleetJSON([4]string{"8", "499966", "251658239", "1.04"})
+	if got := run(single, 1.05, 1.5, 6.0); got != 1 {
+		t.Errorf("single-row sweep produced %d failures, want 1", got)
+	}
+}

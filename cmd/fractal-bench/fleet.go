@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fractal/internal/experiment"
+)
+
+// runFleetMode sweeps the fleet load harness across shard counts and
+// renders two sections: "fleet" (one summary row per shard count) and
+// "fleet_shards" (per-shard breakdown). All latency figures come from the
+// harness's simulated clock and are deterministic for a given
+// configuration; wall_sessions_per_sec is the only wall-clock column and
+// exists to show the drive loop itself keeps up, not to be gated.
+func runFleetMode(shardCounts []int, sessions, profiles int, arrival string, seed int64, repushes, replicas int) (section, section, error) {
+	summary := section{
+		ID:    "fleet",
+		Title: fmt.Sprintf("Fleet: %d sessions, %s arrivals, shard sweep", sessions, arrival),
+		Rows: []string{"shards\tsessions\tprofiles\tarrival\tseed\trepushes\treplicas\tmakespan_ns\t" +
+			"sim_sessions_per_sec\twall_sessions_per_sec\tp50_ns\tp99_ns\tp999_ns\tmax_ns\t" +
+			"hit_rate\tcollapse_rate\tallocs_per_session\tinvalidations\tsuppressed\treplicated_fills"},
+	}
+	perShard := section{
+		ID:    "fleet_shards",
+		Title: "Fleet: per-shard load and saturation",
+		Rows: []string{"shards\tshard\tsessions\thits\tsearches\tcollapsed\tutilization\tpeak_queue\t" +
+			"p50_ns\tp99_ns\tp999_ns"},
+	}
+	for _, shards := range shardCounts {
+		cfg := experiment.DefaultFleetLoadConfig()
+		cfg.Shards = shards
+		cfg.Sessions = sessions
+		cfg.Profiles = profiles
+		cfg.Arrival = arrival
+		cfg.Seed = seed
+		cfg.Repushes = repushes
+		// A sweep that includes narrow tiers clamps the replication factor:
+		// replicas can never exceed the shard count.
+		cfg.Replicas = replicas
+		if cfg.Replicas > shards {
+			cfg.Replicas = shards
+		}
+		start := time.Now()
+		res, err := experiment.RunFleetLoad(cfg)
+		if err != nil {
+			return summary, perShard, err
+		}
+		wall := time.Since(start).Seconds()
+		wallRate := 0.0
+		if wall > 0 {
+			wallRate = float64(sessions) / wall
+		}
+		summary.Rows = append(summary.Rows, fmt.Sprintf(
+			"%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%.0f\t%.0f\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.2f\t%d\t%d\t%d",
+			shards, sessions, res.Config.Profiles, arrival, seed, repushes, res.Config.Replicas,
+			int64(res.Makespan), res.SimSessionsPerSec, wallRate,
+			res.P50, res.P99, res.P999, res.Max,
+			res.HitRate, res.CollapseRate, res.AllocsPerSession,
+			res.Fleet.InvalidationsApplied, res.Fleet.InvalidationsSuppressed, res.Fleet.ReplicatedFills))
+		for _, s := range res.Shards {
+			perShard.Rows = append(perShard.Rows, fmt.Sprintf(
+				"%d\t%s\t%d\t%d\t%d\t%d\t%.4f\t%d\t%d\t%d\t%d",
+				shards, s.Name, s.Sessions, s.Hits, s.Searches, s.Collapsed,
+				s.Utilization, s.PeakQueue, s.P50, s.P99, s.P999))
+		}
+	}
+	return summary, perShard, nil
+}

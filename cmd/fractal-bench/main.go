@@ -90,18 +90,24 @@ func emitJSON(secs []jsonSection, note string) error {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver; faults = deterministic fault-injection scenarios")
-		workers    = flag.Int("workers", 8, "concurrent workers for -mode negotiate")
-		ops        = flag.Int("ops", 20000, "negotiations per worker per phase for -mode negotiate")
-		exp        = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
-		clients    = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
-		pages      = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
-		seed       = flag.Int64("seed", 0, "override workload seed")
-		edges      = flag.Int("edges", 0, "override CDN edgeserver count")
-		jsonOut    = flag.Bool("json", false, "emit sections as one JSON document (with run provenance) instead of text")
-		note       = flag.String("note", "", "free-form provenance note recorded in the -json envelope (e.g. host or run context)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
+		mode          = flag.String("mode", "exp", "exp = paper experiments (see -exp); negotiate = negotiation-plane throughput driver; faults = deterministic fault-injection scenarios; fleet = sharded-tier discrete-event load harness")
+		workers       = flag.Int("workers", 8, "concurrent workers for -mode negotiate")
+		ops           = flag.Int("ops", 20000, "negotiations per worker per phase for -mode negotiate")
+		exp           = flag.String("exp", "all", "experiment id: table1|fig9a|fig9b|fig10|fig10d|fig11a|fig11b|fig11c|headline|capacity|timeline|premise|session|all")
+		clients       = flag.String("clients", "1,25,50,100,150,200,250,300", "comma-separated client counts for fig9a/fig9b")
+		pages         = flag.Int("pages", 0, "override corpus size (default: the paper's 75)")
+		seed          = flag.Int64("seed", 0, "override workload seed")
+		edges         = flag.Int("edges", 0, "override CDN edgeserver count")
+		jsonOut       = flag.Bool("json", false, "emit sections as one JSON document (with run provenance) instead of text")
+		note          = flag.String("note", "", "free-form provenance note recorded in the -json envelope (e.g. host or run context)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
+		fleetShards   = flag.String("fleet-shards", "1,2,4,8", "comma-separated shard counts swept by -mode fleet")
+		fleetSessions = flag.Int("fleet-sessions", 1_000_000, "simulated client sessions per shard count for -mode fleet")
+		fleetProfiles = flag.Int("fleet-profiles", 0, "distinct client profiles for -mode fleet (0 = harness default)")
+		fleetArrival  = flag.String("fleet-arrival", "constant", "arrival curve for -mode fleet: constant|diurnal|flash")
+		fleetRepush   = flag.Int("fleet-repushes", 0, "topology repushes injected during each -mode fleet run")
+		fleetReplicas = flag.Int("fleet-replicas", 1, "warm cache replication factor for -mode fleet")
 	)
 	flag.Parse()
 
@@ -133,8 +139,31 @@ func main() {
 		}
 		return
 	}
+	if *mode == "fleet" {
+		bseed := *seed
+		if bseed == 0 {
+			bseed = 2005
+		}
+		counts, err := parseCounts(*fleetShards)
+		if err != nil {
+			fatal(err)
+		}
+		summary, perShard, err := runFleetMode(counts, *fleetSessions, *fleetProfiles, *fleetArrival, bseed, *fleetRepush, *fleetReplicas)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if err := emitJSON([]jsonSection{summary.toJSON(), perShard.toJSON()}, *note); err != nil {
+				fatal(err)
+			}
+		} else {
+			summary.print()
+			perShard.print()
+		}
+		return
+	}
 	if *mode != "exp" {
-		fatal(fmt.Errorf("unknown mode %q (want exp, negotiate, or faults)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want exp, negotiate, faults, or fleet)", *mode))
 	}
 
 	cfg := experiment.DefaultSetupConfig()

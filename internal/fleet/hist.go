@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram geometry: values 0..31 are recorded exactly; above that, each
+// power-of-two octave is split into 32 linear sub-buckets, so any recorded
+// value is reproduced to within 1/32 (~3.1%) relative error. With int64
+// nanosecond values the full range needs (63-5)+2 = 60 blocks of 32
+// buckets — 1920 counters, 15KiB — so per-shard histograms are cheap to
+// hold and to merge.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	histBlocks   = 64 - histSubBits + 1
+	histBuckets  = histBlocks * histSubCount
+)
+
+// Hist is a fixed-bucket log-linear histogram of non-negative int64
+// samples (negotiation latencies in simulated nanoseconds). Record is
+// integer-only — no floats, no allocation, no branching beyond the
+// linear/log split — so it sits directly on the harness's per-session hot
+// path. Two histograms always share the same geometry, so Merge is
+// element-wise addition and percentile queries commute with merging:
+// merging per-shard histograms and querying equals querying the global
+// histogram.
+//
+// A Hist is confined to one goroutine (each simulated shard records into
+// its own); merge and query after the run.
+type Hist struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{min: -1} }
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp to
+// bucket zero (the harness never produces them; clamping keeps Record
+// total).
+func bucketOf(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	shift := exp - histSubBits
+	return (shift+1)<<histSubBits + int((uint64(v)>>uint(shift))&(histSubCount-1))
+}
+
+// bucketHigh returns the largest value mapping to bucket idx, the
+// conservative representative percentile queries report.
+func bucketHigh(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	shift := idx>>histSubBits - 1
+	sub := idx & (histSubCount - 1)
+	low := (uint64(histSubCount) + uint64(sub)) << uint(shift)
+	return int64(low + (1 << uint(shift)) - 1)
+}
+
+// Record adds one sample.
+//
+//fractal:hotpath one record per completed session
+func (h *Hist) Record(v int64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total }
+
+// Sum returns the exact sum of recorded samples.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Mean returns the exact-sum mean, or 0 for an empty histogram.
+func (h *Hist) Mean() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / h.total
+}
+
+// Min returns the smallest recorded sample (exact), or 0 when empty.
+func (h *Hist) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (exact).
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile returns the q'th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding the rank-ceil(q*total) sample, so the reported value
+// is >= the true quantile and within one bucket width (1/32 relative) of
+// it. Quantile(1) reports the exact maximum. An empty histogram reports 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.total))
+	if float64(rank) < q*float64(h.total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's samples into h. Geometry is fixed at compile time, so
+// any two histograms merge; merging is associative and commutative
+// bucket-by-bucket.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.total > 0 {
+		if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	return &c
+}
+
+// String summarizes the distribution for logs.
+func (h *Hist) String() string {
+	return fmt.Sprintf("hist{n=%d p50=%d p99=%d p999=%d max=%d}",
+		h.total, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.max)
+}

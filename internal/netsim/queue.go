@@ -1,0 +1,144 @@
+package netsim
+
+import "time"
+
+// EventQueue is the fleet-scale discrete-event timeline: a priority queue
+// of (virtual time, payload) pairs with no per-event allocation. Where
+// VirtualClock carries a closure per event — convenient for the paper's
+// per-device models, but a heap allocation and an indirect call per
+// schedule — EventQueue carries a plain int32 payload the caller maps onto
+// its own state tables, so a million pending sessions cost three flat
+// arrays and nothing else.
+//
+// The heap is 4-ary and struct-of-arrays: timestamps, tie-break sequence
+// numbers, and payloads live in parallel slices, keeping the comparison
+// key dense in cache during sifts. Ties execute in Push order (seq is a
+// monotonic counter), so a run is a deterministic function of its pushes.
+//
+// An EventQueue is confined to one simulation goroutine, like the event
+// loop of VirtualClock; it performs no locking.
+type EventQueue struct {
+	at    []time.Duration
+	seq   []uint32
+	id    []int32
+	n     int
+	seqC  uint32
+	moves uint64
+}
+
+// NewEventQueue returns a queue with storage for capacity pending events
+// preallocated; it grows beyond that if needed. A zero EventQueue is also
+// ready to use.
+func NewEventQueue(capacity int) *EventQueue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &EventQueue{
+		at:  make([]time.Duration, 0, capacity),
+		seq: make([]uint32, 0, capacity),
+		id:  make([]int32, 0, capacity),
+	}
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return q.n }
+
+// before is the heap order: virtual time, then push order. seq wraps at
+// 2^32 pushes; runs beyond that would need the counter widened, but a
+// tie across a full wrap additionally requires 2^32 events pending at one
+// identical timestamp, far past the queue's design envelope.
+func (q *EventQueue) before(i, j int) bool {
+	if q.at[i] != q.at[j] {
+		return q.at[i] < q.at[j]
+	}
+	return q.seq[i] < q.seq[j]
+}
+
+// Push schedules payload id at virtual time at.
+//
+//fractal:hotpath one push per session arrival and per service completion
+func (q *EventQueue) Push(at time.Duration, id int32) {
+	i := q.n
+	if i < len(q.at) {
+		q.at[i], q.seq[i], q.id[i] = at, q.seqC, id
+	} else {
+		q.at = append(q.at, at)
+		q.seq = append(q.seq, q.seqC)
+		q.id = append(q.id, id)
+	}
+	q.seqC++
+	q.n++
+	q.siftUp(i)
+}
+
+// Pop removes and returns the earliest pending event. ok is false when the
+// queue is empty.
+//
+//fractal:hotpath the harness event loop pops once per event
+func (q *EventQueue) Pop() (at time.Duration, id int32, ok bool) {
+	if q.n == 0 {
+		return 0, 0, false
+	}
+	at, id = q.at[0], q.id[0]
+	last := q.n - 1
+	q.swap(0, last)
+	q.n = last
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return at, id, true
+}
+
+// Peek returns the earliest pending event without removing it.
+func (q *EventQueue) Peek() (at time.Duration, id int32, ok bool) {
+	if q.n == 0 {
+		return 0, 0, false
+	}
+	return q.at[0], q.id[0], true
+}
+
+func (q *EventQueue) swap(i, j int) {
+	q.at[i], q.at[j] = q.at[j], q.at[i]
+	q.seq[i], q.seq[j] = q.seq[j], q.seq[i]
+	q.id[i], q.id[j] = q.id[j], q.id[i]
+}
+
+// siftUp restores the heap invariant from index i towards the root.
+func (q *EventQueue) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.before(i, p) {
+			break
+		}
+		q.swap(i, p)
+		q.moves++
+		i = p
+	}
+}
+
+// siftDown restores the heap invariant from index i towards the leaves.
+func (q *EventQueue) siftDown(i int) {
+	n := q.n
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if q.before(j, best) {
+				best = j
+			}
+		}
+		if !q.before(best, i) {
+			break
+		}
+		q.swap(i, best)
+		q.moves++
+		i = best
+	}
+}
