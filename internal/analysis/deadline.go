@@ -11,10 +11,11 @@ import (
 // failure mode the transport hardening work (bounded calls, degraded mode)
 // exists to prevent.
 var deadlineScope = map[string]bool{
-	"fractal/internal/client":    true,
-	"fractal/internal/proxy":     true,
-	"fractal/internal/appserver": true,
-	"fractal/internal/inp":       true,
+	"fractal/internal/client":          true,
+	"fractal/internal/proxy":           true,
+	"fractal/internal/appserver":       true,
+	"fractal/internal/inp":             true,
+	"fractal/internal/inp/conformance": true,
 }
 
 // deadlineFrameFns are the INP framing entry points that read or write a

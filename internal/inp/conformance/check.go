@@ -1,0 +1,225 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"fractal/internal/inp"
+)
+
+// CheckTrace is the differential oracle for one trace: evaluate the spec,
+// replay the trace on every stack, and require (a) each stack to match
+// the spec's frame-by-frame expectation and (b) all stacks to match each
+// other byte-for-byte. nil means the trace conforms everywhere.
+func CheckTrace(stacks []Stack, tr Trace) error {
+	ex, err := Eval(tr)
+	if err != nil {
+		return fmt.Errorf("spec eval: %w", err)
+	}
+	outs := make([]*Outcome, len(stacks))
+	for i, st := range stacks {
+		out, err := Run(st, tr, ex)
+		if err != nil {
+			return fmt.Errorf("stack %s: %w", st.Name(), err)
+		}
+		if err := compareToModel(ex, out); err != nil {
+			return fmt.Errorf("stack %s diverges from spec: %w", out.Stack, err)
+		}
+		outs[i] = out
+	}
+	for i := 1; i < len(outs); i++ {
+		if err := compareOutcomes(outs[0], outs[i]); err != nil {
+			return fmt.Errorf("stacks disagree: %w", err)
+		}
+	}
+	return nil
+}
+
+// compareToModel checks one stack's observation against the spec.
+func compareToModel(ex *Expect, out *Outcome) error {
+	if len(out.Steps) != len(ex.Steps) {
+		return fmt.Errorf("observed %d steps, spec expects %d", len(out.Steps), len(ex.Steps))
+	}
+	terminated := false
+	for i, est := range ex.Steps {
+		so := out.Steps[i]
+		if so.QueueErr != est.QueueErr {
+			return fmt.Errorf("step %d: queue error = %v, spec expects %v", i, so.QueueErr, est.QueueErr)
+		}
+		if so.SendErr != "" {
+			return fmt.Errorf("step %d: send failed (%s), spec expects the write to land", i, so.SendErr)
+		}
+		if len(so.Replies) != len(est.Replies) {
+			return fmt.Errorf("step %d: observed %d replies %v, spec expects %d %v",
+				i, len(so.Replies), so.Replies, len(est.Replies), est.Replies)
+		}
+		for j, want := range est.Replies {
+			got := so.Replies[j]
+			if got.Err != "" {
+				return fmt.Errorf("step %d reply %d: got error %q, spec expects %v", i, j, got.Err, want)
+			}
+			if got.Type != want.Type || got.Version != want.Version || got.Seq != want.Seq {
+				return fmt.Errorf("step %d reply %d: got %v, spec expects %v", i, j, got, want)
+			}
+		}
+		wantTerm := obsNone
+		switch est.Term {
+		case TermServerClosed:
+			wantTerm = errClosed
+		case TermDriverReject:
+			wantTerm = errSeq
+		}
+		if so.TermErr != wantTerm {
+			return fmt.Errorf("step %d: terminal observation %q, spec expects %q", i, so.TermErr, wantTerm)
+		}
+		if est.Term != TermNone {
+			terminated = true
+		}
+	}
+	if terminated {
+		if out.DrainErr != obsNone {
+			return fmt.Errorf("drain observation %q on a terminated trace", out.DrainErr)
+		}
+	} else if out.DrainErr != errClosed {
+		return fmt.Errorf("drain observation %q, spec expects a clean close", out.DrainErr)
+	}
+	if out.DriverBinary != ex.DriverBinary {
+		return fmt.Errorf("final client encoding binary=%v, spec expects %v", out.DriverBinary, ex.DriverBinary)
+	}
+	return nil
+}
+
+// compareOutcomes requires two stacks' observations to be identical,
+// reply body bytes included: the TCP writev path and the netsim path
+// must produce the same octets.
+func compareOutcomes(a, b *Outcome) error {
+	if len(a.Steps) != len(b.Steps) {
+		return fmt.Errorf("%s observed %d steps, %s observed %d", a.Stack, len(a.Steps), b.Stack, len(b.Steps))
+	}
+	for i := range a.Steps {
+		sa, sb := a.Steps[i], b.Steps[i]
+		if sa.QueueErr != sb.QueueErr || sa.SendErr != sb.SendErr || sa.TermErr != sb.TermErr {
+			return fmt.Errorf("step %d: %s=(queue %v, send %q, term %q) vs %s=(queue %v, send %q, term %q)",
+				i, a.Stack, sa.QueueErr, sa.SendErr, sa.TermErr, b.Stack, sb.QueueErr, sb.SendErr, sb.TermErr)
+		}
+		if len(sa.Replies) != len(sb.Replies) {
+			return fmt.Errorf("step %d: %s got %d replies, %s got %d", i, a.Stack, len(sa.Replies), b.Stack, len(sb.Replies))
+		}
+		for j := range sa.Replies {
+			ra, rb := sa.Replies[j], sb.Replies[j]
+			if ra.Err != rb.Err || ra.Type != rb.Type || ra.Version != rb.Version || ra.Seq != rb.Seq {
+				return fmt.Errorf("step %d reply %d: %s got %v, %s got %v", i, j, a.Stack, ra, b.Stack, rb)
+			}
+			if !bytes.Equal(ra.Body, rb.Body) {
+				return fmt.Errorf("step %d reply %d (%v): body bytes differ between %s (%d B) and %s (%d B)",
+					i, j, ra.Type, a.Stack, len(ra.Body), b.Stack, len(rb.Body))
+			}
+		}
+	}
+	if a.DrainErr != b.DrainErr {
+		return fmt.Errorf("drain: %s=%q vs %s=%q", a.Stack, a.DrainErr, b.Stack, b.DrainErr)
+	}
+	if a.DriverBinary != b.DriverBinary {
+		return fmt.Errorf("final encoding: %s binary=%v vs %s binary=%v", a.Stack, a.DriverBinary, b.Stack, b.DriverBinary)
+	}
+	return nil
+}
+
+// CheckEncodings replays a valid (unmutated) trace twice on one stack —
+// once advertising only v1 JSON, once advertising Version2 — and requires
+// the decoded reply bodies to be equivalent: the binary fast path must be
+// an encoding, not a different protocol.
+func CheckEncodings(stack Stack, tr Trace) error {
+	j := tr.clone()
+	j.Binary = false
+	b := tr.clone()
+	b.Binary = true
+	oj, err := runFor(stack, j)
+	if err != nil {
+		return err
+	}
+	ob, err := runFor(stack, b)
+	if err != nil {
+		return err
+	}
+	if len(oj.Steps) != len(ob.Steps) {
+		return fmt.Errorf("json ran %d steps, binary %d", len(oj.Steps), len(ob.Steps))
+	}
+	for i := range oj.Steps {
+		sj, sb := oj.Steps[i], ob.Steps[i]
+		if len(sj.Replies) != len(sb.Replies) {
+			return fmt.Errorf("step %d: json got %d replies, binary %d", i, len(sj.Replies), len(sb.Replies))
+		}
+		for k := range sj.Replies {
+			rj, rb := sj.Replies[k], sb.Replies[k]
+			if rj.Err != rb.Err || rj.Type != rb.Type || rj.Seq != rb.Seq {
+				return fmt.Errorf("step %d reply %d: json %v vs binary %v", i, k, rj, rb)
+			}
+			if rj.Err != "" {
+				continue
+			}
+			vj, err := decodeReply(rj)
+			if err != nil {
+				return fmt.Errorf("step %d reply %d: decoding json reply: %w", i, k, err)
+			}
+			vb, err := decodeReply(rb)
+			if err != nil {
+				return fmt.Errorf("step %d reply %d: decoding binary reply: %w", i, k, err)
+			}
+			if !reflect.DeepEqual(vj, vb) {
+				return fmt.Errorf("step %d reply %d (%v): decoded bodies differ between encodings:\njson:   %+v\nbinary: %+v",
+					i, k, rj.Type, vj, vb)
+			}
+		}
+	}
+	if oj.DrainErr != ob.DrainErr {
+		return fmt.Errorf("drain: json %q vs binary %q", oj.DrainErr, ob.DrainErr)
+	}
+	return nil
+}
+
+func runFor(stack Stack, tr Trace) (*Outcome, error) {
+	ex, err := Eval(tr)
+	if err != nil {
+		return nil, fmt.Errorf("spec eval: %w", err)
+	}
+	out, err := Run(stack, tr, ex)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := compareToModel(ex, out); cerr != nil {
+		return nil, fmt.Errorf("stack %s diverges from spec: %w", out.Stack, cerr)
+	}
+	return out, nil
+}
+
+// decodeReply decodes an observed reply body into its typed struct via
+// the version-aware decoder, so JSON and binary replies become
+// comparable values.
+func decodeReply(r RecvObs) (interface{}, error) {
+	var v interface{}
+	switch r.Type {
+	case inp.MsgInitRep:
+		v = new(inp.InitRep)
+	case inp.MsgCliMetaReq:
+		v = new(inp.CliMetaReq)
+	case inp.MsgPADMetaRep:
+		v = new(inp.PADMetaRep)
+	case inp.MsgAppRep:
+		v = new(inp.AppRep)
+	case inp.MsgPADDownloadRep:
+		v = new(inp.PADDownloadRep)
+	case inp.MsgAppMetaAck:
+		v = new(inp.AppMetaAck)
+	case inp.MsgError:
+		v = new(inp.ErrorRep)
+	default:
+		return nil, fmt.Errorf("no decoder for reply type %v", r.Type)
+	}
+	h := inp.Header{Version: r.Version, Type: r.Type, Seq: r.Seq}
+	if err := inp.DecodeRaw(h, r.Body, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,21 @@
+package conformance
+
+import "testing"
+
+// FuzzTraceConformance drives the differential oracle from fuzzed seeds.
+// The fuzzer explores generator space rather than raw bytes: every input
+// maps to a well-typed trace (one of a base and its mutants), so all
+// fuzzing effort lands on protocol behaviour instead of on the input
+// parser, and a crash reproduces from a two-integer corpus entry.
+func FuzzTraceConformance(f *testing.F) {
+	f.Add(int64(1), uint32(0))
+	f.Add(int64(0x46726163), uint32(3))
+	f.Add(int64(-99), uint32(11))
+	f.Fuzz(func(t *testing.T, seed int64, sel uint32) {
+		ss := bothStacks(t)
+		g := NewGen(seed)
+		base := g.Valid()
+		pool := append([]Trace{base}, g.Mutants(base, 8)...)
+		checkOrShrink(t, ss, pool[int(sel)%len(pool)])
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package conformance
+
+// raceEnabled gates suite sizing: the race detector multiplies the cost
+// of every trace replay, so the fixed-seed suite runs a sample instead
+// of the full CI-smoke budget.
+const raceEnabled = false

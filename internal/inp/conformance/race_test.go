@@ -1,0 +1,8 @@
+//go:build race
+
+package conformance
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; the fixed-seed suite runs a sample instead of the full
+// CI-smoke budget.
+const raceEnabled = true

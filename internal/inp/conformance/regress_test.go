@@ -1,0 +1,54 @@
+package conformance
+
+import "testing"
+
+// The three wire-state bugs the conformance model flushed out, pinned as
+// shrunk model-derived traces. Each trace made CheckTrace fail against
+// the pre-fix inp.Conn and must stay green forever after.
+
+// Bug 1: Conn.Queue consumed a sequence number even when encoding the
+// body failed, so the first frame after a failed staging attempt went
+// out with seq N+2 and the server dropped the session at the gate. The
+// spec says a failed Queue is invisible on the wire.
+func TestRegressionQueueFailureBurnsNoSeq(t *testing.T) {
+	ss := bothStacks(t)
+	tr := Trace{Target: TargetProxy, Steps: []Step{
+		{Op: OpQueueBad},
+		{Op: OpInitBurst},
+	}}
+	if err := CheckTrace(ss, tr); err != nil {
+		t.Fatalf("queue-failure trace diverges:\n%v%v", tr, err)
+	}
+}
+
+// Bug 2: Conn.Recv flipped the connection to binary before the sequence
+// gate ran, so a stale replayed frame re-stamped Version2 — one a
+// conforming client must reject — still upgraded the encoding state of
+// a v1 session. Rejected frames must not mutate connection state.
+func TestRegressionRejectedV2FrameDoesNotUpgrade(t *testing.T) {
+	ss := bothStacks(t)
+	tr := Trace{Target: TargetPAD, Steps: []Step{
+		{Op: OpPADReq},
+		{Op: OpPADReq, Muts: []Mutation{{Kind: MutInStaleV2}}},
+	}}
+	if err := CheckTrace(ss, tr); err != nil {
+		t.Fatalf("stale-v2 trace diverges:\n%v%v", tr, err)
+	}
+}
+
+// Bug 3: SetTimeout(0) left a previously armed absolute deadline on the
+// socket, so a conn reconfigured to wait indefinitely still failed at a
+// stale wall-clock instant. The delayed reply here arrives well after
+// the old deadline would have fired; a conforming conn waits for it.
+func TestRegressionSetTimeoutZeroDisarms(t *testing.T) {
+	ss := bothStacks(t)
+	tr := Trace{Target: TargetApp, Steps: []Step{
+		{Op: OpSetTimeout, Ms: 250},
+		{Op: OpAppReq},
+		{Op: OpSetTimeout, Ms: 0},
+		{Op: OpAppReq, Muts: []Mutation{{Kind: MutInDelay, Ms: 600}}},
+	}}
+	if err := CheckTrace(ss, tr); err != nil {
+		t.Fatalf("stale-deadline trace diverges:\n%v%v", tr, err)
+	}
+}

@@ -1,0 +1,87 @@
+package conformance
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"fractal/internal/netsim"
+)
+
+// TCPStack serves the world over real loopback TCP listeners — the
+// production transport, vectored writev path included.
+type TCPStack struct {
+	w     *World
+	addrs map[Target]string
+	lns   []net.Listener
+}
+
+// NewTCPStack starts one listener per target on loopback.
+func NewTCPStack(w *World) (*TCPStack, error) {
+	s := &TCPStack{w: w, addrs: map[Target]string{}}
+	serve := map[Target]func(net.Listener) error{
+		TargetProxy: w.Proxy.Serve,
+		TargetApp:   w.App.Serve,
+		TargetPAD:   w.PAD.Serve,
+	}
+	for _, t := range []Target{TargetProxy, TargetApp, TargetPAD} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("conformance: listening for %v: %w", t, err)
+		}
+		s.lns = append(s.lns, ln)
+		s.addrs[t] = ln.Addr().String()
+		go func(fn func(net.Listener) error, ln net.Listener) {
+			_ = fn(ln) // exits on Close
+		}(serve[t], ln)
+	}
+	return s, nil
+}
+
+func (s *TCPStack) Name() string { return "tcp" }
+
+// Dial connects to the target's listener.
+func (s *TCPStack) Dial(t Target) (net.Conn, error) {
+	return net.DialTimeout("tcp", s.addrs[t], 5*time.Second)
+}
+
+// Close shuts the listeners down; server front ends drain in-flight
+// sessions via their own Close.
+func (s *TCPStack) Close() {
+	s.w.Proxy.Close()
+	s.w.App.Close()
+	s.w.PAD.Close()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+}
+
+// PipeStack serves the same world over in-memory netsim stream pairs: no
+// sockets, no writev — the simulated transport the netsim experiments
+// run on. Each Dial spawns a server goroutine on the peer endpoint,
+// exactly as the accept loop would.
+type PipeStack struct {
+	w *World
+}
+
+// NewPipeStack wraps the world.
+func NewPipeStack(w *World) *PipeStack { return &PipeStack{w: w} }
+
+func (s *PipeStack) Name() string { return "netsim" }
+
+// Dial returns the client end of a fresh stream pair, with the matching
+// server loop running on the other end.
+func (s *PipeStack) Dial(t Target) (net.Conn, error) {
+	serve := map[Target]func(net.Conn) error{
+		TargetProxy: s.w.Proxy.ServeConn,
+		TargetApp:   s.w.App.ServeConn,
+		TargetPAD:   s.w.PAD.ServeConn,
+	}[t]
+	client, server := netsim.StreamPair()
+	go func() {
+		defer server.Close()
+		_ = serve(server)
+	}()
+	return client, nil
+}

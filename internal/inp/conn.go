@@ -59,6 +59,11 @@ type Conn struct {
 	// individual read and write so a stalled peer cannot block a call
 	// forever.
 	timeout time.Duration
+	// armedR/armedW record that this Conn armed an absolute deadline on rw
+	// that it has not yet cleared, so disabling the bound (SetTimeout(0))
+	// knows whether there is a stale deadline to remove — and never touches
+	// deadlines some other owner (a server idle policy) armed itself.
+	armedR, armedW bool
 	// binary records that the peer has proven Version2 support (it sent a
 	// v2 frame, or advertised WireVersion >= 2 and the server called
 	// EnableBinary); hot bodies are then emitted with the binary codec.
@@ -89,8 +94,24 @@ func NewConnSession(rw io.ReadWriter, sess *arena.Session) *Conn {
 
 // SetTimeout arms a per-operation I/O deadline: every subsequent send or
 // receive must complete within d. It is a no-op if the underlying stream
-// has no deadline support. Zero disables the bound.
-func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+// has no deadline support. Zero disables the bound and clears any
+// deadline a previous bounded operation left armed on the stream, so a
+// later long-running call cannot fail against a stale absolute deadline.
+func (c *Conn) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		if drw, ok := c.rw.(deadlineRW); ok {
+			if c.armedR {
+				_ = drw.SetReadDeadline(time.Time{})
+				c.armedR = false
+			}
+			if c.armedW {
+				_ = drw.SetWriteDeadline(time.Time{})
+				c.armedW = false
+			}
+		}
+	}
+	c.timeout = d
+}
 
 // EnableBinary switches hot body types to the Version2 binary codec.
 // Servers call it after a request advertises WireVersion >= Version2;
@@ -115,6 +136,7 @@ func (c *Conn) armRead() {
 	}
 	if d, ok := c.rw.(deadlineRW); ok {
 		_ = d.SetReadDeadline(time.Now().Add(c.timeout))
+		c.armedR = true
 	}
 }
 
@@ -125,6 +147,7 @@ func (c *Conn) armWrite() {
 	}
 	if d, ok := c.rw.(deadlineRW); ok {
 		_ = d.SetWriteDeadline(time.Now().Add(c.timeout))
+		c.armedW = true
 	}
 }
 
@@ -132,12 +155,19 @@ func (c *Conn) armWrite() {
 // batch; nothing reaches the stream until Flush. Hot body types use the
 // binary codec once the peer has proven Version2 support.
 func (c *Conn) Queue(t MsgType, body interface{}) error {
-	c.seq++
-	h := Header{Version: Version, Type: t, Seq: c.seq}
+	// The sequence number is committed only once the frame is staged: if
+	// encoding fails nothing reaches the wire, so consuming a seq here
+	// would make the next successful frame skip one and be rejected by a
+	// healthy peer with ErrSeqMismatch.
+	h := Header{Version: Version, Type: t, Seq: c.seq + 1}
 	if c.binary && binaryMsgType(t) && binaryEncodable(t, body) {
 		h.Version = Version2
 	}
-	return c.fw.WriteMessage(h, body)
+	if err := c.fw.WriteMessage(h, body); err != nil {
+		return err
+	}
+	c.seq++
+	return nil
 }
 
 // Flush writes the queued batch as one vectored write.
@@ -171,14 +201,16 @@ func (c *Conn) Recv() (Header, []byte, error) {
 	if err != nil {
 		return h, raw, err
 	}
-	if h.Version >= Version2 {
-		// The peer emits v2 frames, so it decodes them too: upgrade.
-		c.binary = true
-	}
 	if h.Seq != c.peerSeq+1 {
 		return h, raw, fmt.Errorf("%w: got %v seq %d, expected %d", ErrSeqMismatch, h.Type, h.Seq, c.peerSeq+1)
 	}
 	c.peerSeq = h.Seq
+	if h.Version >= Version2 {
+		// The peer emits v2 frames, so it decodes them too: upgrade.
+		// Only an *accepted* frame mutates conn state — a stale or
+		// replayed v2 frame rejected above must not flip the encoding.
+		c.binary = true
+	}
 	return h, raw, nil
 }
 

@@ -114,6 +114,130 @@ func TestConnTimeoutBoundsStalledRead(t *testing.T) {
 	}
 }
 
+// TestConnQueueEncodeFailureKeepsSequence is the unit-level regression for
+// the seq-burn bug the conformance model flushed out (see
+// internal/inp/conformance/regress_test.go for the shrunk trace): a body
+// that fails to encode must not consume a sequence number, or the next
+// successful frame skips one and a healthy peer rejects the stream.
+func TestConnQueueEncodeFailureKeepsSequence(t *testing.T) {
+	var wire bytes.Buffer
+	c := NewConn(&wire)
+	if err := c.Send(MsgInitReq, InitReq{AppID: "webapp"}); err != nil {
+		t.Fatal(err)
+	}
+	// Channels are not JSON-encodable; staging must fail without a frame.
+	if err := c.Queue(MsgCliMetaRep, make(chan int)); err == nil {
+		t.Fatal("queueing an unencodable body succeeded")
+	}
+	if err := c.Send(MsgCliMetaRep, CliMetaRep{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The receiving side must see seq 1, 2 — no gap.
+	peer := NewConn(&wire)
+	for want := uint32(1); want <= 2; want++ {
+		h, _, err := peer.Recv()
+		if err != nil {
+			t.Fatalf("frame %d rejected: %v", want, err)
+		}
+		if h.Seq != want {
+			t.Fatalf("frame seq = %d, want %d", h.Seq, want)
+		}
+	}
+}
+
+// TestConnRejectedV2FrameDoesNotUpgrade pins that only an accepted frame
+// mutates conn state: a stale/replayed Version2 frame that fails the
+// sequence gate must not flip the conn to the binary encoding.
+func TestConnRejectedV2FrameDoesNotUpgrade(t *testing.T) {
+	var wire bytes.Buffer
+	// A stale v2 frame: wrong seq (5 on a fresh conn), binary body.
+	var fw FrameWriter
+	fw.init(&wire)
+	if err := fw.WriteMessage(Header{Version: Version2, Type: MsgInitRep, Seq: 5}, InitRep{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(&wire)
+	if _, _, err := c.Recv(); !errors.Is(err, ErrSeqMismatch) {
+		t.Fatalf("stale v2 frame err = %v, want ErrSeqMismatch", err)
+	}
+	if c.BinaryEnabled() {
+		t.Fatal("rejected v2 frame flipped the conn to binary")
+	}
+
+	// The same frame with the correct seq does upgrade.
+	wire.Reset()
+	fw.init(&wire)
+	if err := fw.WriteMessage(Header{Version: Version2, Type: MsgInitRep, Seq: 1}, InitRep{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Recv(); err != nil {
+		t.Fatalf("accepted v2 frame err = %v", err)
+	}
+	if !c.BinaryEnabled() {
+		t.Fatal("accepted v2 frame did not upgrade the conn")
+	}
+}
+
+// TestConnSetTimeoutZeroClearsDeadline pins that disabling the per-op
+// bound also clears a previously armed absolute deadline: a later
+// long-running Recv must block until the peer answers, not fail against
+// the stale deadline of an earlier bounded call.
+func TestConnSetTimeoutZeroClearsDeadline(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		// Answer the first (bounded) call promptly.
+		_, _, _ = ReadMessage(server)
+		_ = WriteMessage(server, Header{Version: Version, Type: MsgInitRep, Seq: 1}, InitRep{OK: true})
+		// Answer the second call only after the first call's stale
+		// deadline has long passed.
+		_, _, _ = ReadMessage(server)
+		time.Sleep(150 * time.Millisecond)
+		_ = WriteMessage(server, Header{Version: Version, Type: MsgCliMetaReq, Seq: 2}, CliMetaReq{})
+	}()
+
+	c := NewConn(client)
+	c.SetTimeout(50 * time.Millisecond)
+	var rep InitRep
+	if err := c.Call(MsgInitReq, InitReq{AppID: "x"}, MsgInitRep, &rep); err != nil {
+		t.Fatalf("bounded call: %v", err)
+	}
+	c.SetTimeout(0) // disable the bound; must clear the armed deadline
+	var req CliMetaReq
+	if err := c.Call(MsgCliMetaRep, CliMetaRep{}, MsgCliMetaReq, &req); err != nil {
+		t.Fatalf("unbounded call after SetTimeout(0) failed: %v (stale deadline left armed?)", err)
+	}
+}
+
+// TestConnSetTimeoutZeroLeavesForeignDeadlines pins the ownership rule:
+// SetTimeout(0) clears only deadlines this Conn armed, never one some
+// other owner (a server idle policy) set on the same stream.
+func TestConnSetTimeoutZeroLeavesForeignDeadlines(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	// A server-side idle policy arms a deadline directly on the conn.
+	if err := client.SetReadDeadline(time.Now().Add(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(client)
+	c.SetTimeout(0) // Conn never armed anything: must not clear the idle deadline
+	_, _, err := c.Recv()
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Recv = %v, want the foreign idle deadline to fire", err)
+	}
+}
+
 func TestConnTimeoutNoopOnPlainStream(t *testing.T) {
 	var wire bytes.Buffer
 	c := NewConn(&wire)

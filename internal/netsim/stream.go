@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// StreamPair returns the two endpoints of an in-memory full-duplex byte
+// stream. Each endpoint implements net.Conn, including read/write
+// deadlines (errors.Is(err, os.ErrDeadlineExceeded), Timeout()==true) and
+// TCP-like half close via CloseWrite, so protocol servers and clients that
+// were written against real sockets run unmodified inside the simulated
+// world. Writes never block: the buffer between the endpoints is
+// unbounded, like a loopback socket whose window the tests never fill.
+// A full Close makes the peer read EOF once it has drained buffered data,
+// and fails the peer's subsequent writes — again matching loopback TCP
+// closely enough for differential protocol testing.
+//
+// The pair is purely in-memory and carries no wall-clock behavior of its
+// own: blocking reads wait only for peer activity or for the deadline the
+// caller armed (time.Until/time.NewTimer, the same bounded-wait pattern
+// faultnet uses).
+func StreamPair() (*Stream, *Stream) {
+	ab := newStreamBuf() // a writes, b reads
+	ba := newStreamBuf() // b writes, a reads
+	a := &Stream{in: ba, out: ab, local: streamAddr("netsim:a"), remote: streamAddr("netsim:b")}
+	b := &Stream{in: ab, out: ba, local: streamAddr("netsim:b"), remote: streamAddr("netsim:a")}
+	return a, b
+}
+
+// Stream is one endpoint of a StreamPair. It is safe for concurrent use
+// in the same sense a net.Conn is: one reader, one writer, plus
+// Close/deadline calls from other goroutines.
+type Stream struct {
+	in, out       *streamBuf
+	rd, wd        streamDeadline
+	local, remote streamAddr
+
+	closeOnce sync.Once
+}
+
+// streamBuf is one direction of the pair: an unbounded buffer plus the
+// two half-close flags, guarded by a mutex, with a broadcast channel that
+// is closed and replaced on every state change so blocked readers wake.
+type streamBuf struct {
+	mu      sync.Mutex
+	data    []byte
+	wclosed bool // writer half-closed: readers drain then see EOF
+	rclosed bool // reader endpoint closed: writes fail
+	change  chan struct{}
+}
+
+func newStreamBuf() *streamBuf {
+	return &streamBuf{change: make(chan struct{})}
+}
+
+// broadcast wakes every waiter; callers hold b.mu.
+func (b *streamBuf) broadcast() {
+	close(b.change)
+	b.change = make(chan struct{})
+}
+
+// Read blocks until buffered bytes, peer half-close (EOF), local close,
+// or the armed read deadline.
+func (s *Stream) Read(p []byte) (int, error) {
+	for {
+		s.in.mu.Lock()
+		if s.in.rclosed {
+			s.in.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if len(s.in.data) > 0 {
+			n := copy(p, s.in.data)
+			rest := len(s.in.data) - n
+			copy(s.in.data, s.in.data[n:])
+			s.in.data = s.in.data[:rest]
+			s.in.mu.Unlock()
+			return n, nil
+		}
+		if s.in.wclosed {
+			s.in.mu.Unlock()
+			return 0, io.EOF
+		}
+		wait := s.in.change
+		s.in.mu.Unlock()
+		if err := s.rd.wait(wait); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Write appends to the peer's read buffer. It never blocks, but an
+// already-expired write deadline still fails, matching net.Conn.
+func (s *Stream) Write(p []byte) (int, error) {
+	if s.wd.expired() {
+		return 0, os.ErrDeadlineExceeded
+	}
+	s.out.mu.Lock()
+	defer s.out.mu.Unlock()
+	if s.out.wclosed {
+		return 0, net.ErrClosed
+	}
+	if s.out.rclosed {
+		return 0, io.ErrClosedPipe
+	}
+	s.out.data = append(s.out.data, p...)
+	s.out.broadcast()
+	return len(p), nil
+}
+
+// Close tears the endpoint down: local reads and writes fail, the peer
+// reads EOF once it drains buffered data, and the peer's writes fail.
+func (s *Stream) Close() error {
+	s.closeOnce.Do(func() {
+		s.out.mu.Lock()
+		s.out.wclosed = true
+		s.out.broadcast()
+		s.out.mu.Unlock()
+
+		s.in.mu.Lock()
+		s.in.rclosed = true
+		s.in.broadcast()
+		s.in.mu.Unlock()
+	})
+	return nil
+}
+
+// CloseWrite half-closes the endpoint: the peer reads EOF after draining,
+// while this endpoint keeps reading — the shutdown(SHUT_WR) the INP
+// drivers use to signal a clean end-of-trace.
+func (s *Stream) CloseWrite() error {
+	s.out.mu.Lock()
+	defer s.out.mu.Unlock()
+	if s.out.wclosed {
+		return net.ErrClosed
+	}
+	s.out.wclosed = true
+	s.out.broadcast()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return s.local }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return s.remote }
+
+// SetDeadline implements net.Conn.
+func (s *Stream) SetDeadline(t time.Time) error {
+	s.rd.set(t)
+	s.wd.set(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.rd.set(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.wd.set(t)
+	return nil
+}
+
+type streamAddr string
+
+func (a streamAddr) Network() string { return "netsim" }
+func (a streamAddr) String() string  { return string(a) }
+
+// streamDeadline is a mutable absolute deadline whose waiters observe
+// changes immediately: set closes the change channel so a blocked wait
+// re-reads the new deadline (the faultnet deadline pattern).
+type streamDeadline struct {
+	mu     sync.Mutex
+	t      time.Time
+	change chan struct{}
+}
+
+func (d *streamDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.t = t
+	if d.change != nil {
+		close(d.change)
+		d.change = nil
+	}
+}
+
+// get returns the current deadline and a channel closed when it changes.
+func (d *streamDeadline) get() (time.Time, <-chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.change == nil {
+		d.change = make(chan struct{})
+	}
+	return d.t, d.change
+}
+
+// expired reports whether a nonzero deadline has already passed.
+func (d *streamDeadline) expired() bool {
+	d.mu.Lock()
+	t := d.t
+	d.mu.Unlock()
+	return !t.IsZero() && time.Until(t) <= 0
+}
+
+// wait blocks until ready is closed, the deadline fires, or the deadline
+// is replaced (in which case it re-evaluates against the new value).
+func (d *streamDeadline) wait(ready <-chan struct{}) error {
+	for {
+		t, changed := d.get()
+		if t.IsZero() {
+			select {
+			case <-ready:
+				return nil
+			case <-changed:
+				continue
+			}
+		}
+		remain := time.Until(t)
+		if remain <= 0 {
+			return os.ErrDeadlineExceeded
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ready:
+			timer.Stop()
+			return nil
+		case <-changed:
+			timer.Stop()
+			continue
+		case <-timer.C:
+			return os.ErrDeadlineExceeded
+		}
+	}
+}

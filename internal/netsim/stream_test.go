@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestStreamPairRoundTrip(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello fractal")
+	if n, err := a.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+
+	// And the reverse direction.
+	if _, err := b.Write([]byte("ack")); err != nil {
+		t.Fatalf("reverse Write: %v", err)
+	}
+	got = make([]byte, 3)
+	if _, err := io.ReadFull(a, got); err != nil {
+		t.Fatalf("reverse ReadFull: %v", err)
+	}
+	if string(got) != "ack" {
+		t.Fatalf("reverse read %q", got)
+	}
+}
+
+func TestStreamLargeTransfer(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for off := 0; off < len(payload); off += 4096 {
+			end := off + 4096
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := a.Write(payload[off:end]); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- a.CloseWrite()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if werr := <-errc; werr != nil {
+		t.Fatalf("writer: %v", werr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes", len(got))
+	}
+}
+
+func TestStreamCloseWriteHalfClose(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := a.CloseWrite(); err != nil {
+		t.Fatalf("CloseWrite: %v", err)
+	}
+	// Peer drains buffered data, then sees EOF.
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll after half-close: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("drained %q", got)
+	}
+	// The half-closed endpoint still reads the reverse direction.
+	if _, err := b.Write([]byte("reply")); err != nil {
+		t.Fatalf("peer Write after half-close: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatalf("read after CloseWrite: %v", err)
+	}
+	// Writing on the half-closed side fails.
+	if _, err := a.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Write after CloseWrite = %v, want net.ErrClosed", err)
+	}
+}
+
+func TestStreamCloseSemantics(t *testing.T) {
+	a, b := StreamPair()
+	if _, err := a.Write([]byte("buffered")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Peer still drains data buffered before the close, then EOF.
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll after close: %v", err)
+	}
+	if string(got) != "buffered" {
+		t.Fatalf("drained %q", got)
+	}
+	// Peer writes to a closed endpoint fail.
+	if _, err := b.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer Write after close = %v, want io.ErrClosedPipe", err)
+	}
+	// The closed endpoint's own reads fail.
+	if _, err := a.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Read after close = %v, want net.ErrClosed", err)
+	}
+	b.Close()
+}
+
+func TestStreamCloseUnblocksReader(t *testing.T) {
+	a, b := StreamPair()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Read(make([]byte, 1))
+		done <- err
+	}()
+	b.Close() // peer close: blocked reader sees EOF
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("Read unblocked with %v, want EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Read did not unblock on peer close")
+	}
+	a.Close()
+}
+
+func TestStreamReadDeadline(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	_, err := a.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want deadline exceeded", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("deadline error is not a net.Error timeout: %v", err)
+	}
+
+	// Clearing with the zero time makes reads block again.
+	if err := a.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("clear deadline: %v", err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Write([]byte("late"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatalf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestStreamDeadlineChangeWakesWaiter(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+
+	// Arm a far deadline, then move it near while a read is blocked: the
+	// waiter must observe the change rather than sleep to the old bound.
+	if err := a.SetReadDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatalf("move deadline: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Read = %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("moved-up deadline never fired")
+	}
+}
+
+func TestStreamExpiredWriteDeadline(t *testing.T) {
+	a, b := StreamPair()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SetWriteDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatalf("SetWriteDeadline: %v", err)
+	}
+	if _, err := a.Write([]byte("x")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Write = %v, want deadline exceeded", err)
+	}
+}
