@@ -2,14 +2,15 @@
 // the module: determinism (simtime, rawrand), error-handling (errdiscard),
 // VM instruction-set completeness (opcomplete), digest-comparison hygiene
 // (digestsafe), conn-deadline safety (deadline), and the flow-sensitive
-// checks built on the CFG/dataflow engine — lock discipline (lockheld),
-// wire-length allocation taint (wiretaint), and hot-path allocation
-// hygiene (hotpath). See internal/analysis for the invariants and the
-// //fractal:allow annotation syntax.
+// checks built on the CFG/dataflow engine and its interprocedural
+// call-graph summaries — lock discipline (lockheld), wire-length
+// allocation taint (wiretaint), hot-path allocation hygiene (hotpath),
+// and goroutine-leak detection (goleak). See internal/analysis for the
+// invariants and the //fractal:allow annotation syntax.
 //
 // Usage:
 //
-//	fractal-vet [-json|-sarif] [-enable a,b] [-disable c] [packages]
+//	fractal-vet [-json|-sarif] [-enable a,b] [-disable c] [-timing] [-time-budget d] [packages]
 //	fractal-vet -pads [module.pad ...]
 //
 // With no arguments (or "./...") every package of the enclosing module is
@@ -26,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"fractal/internal/analysis"
 	"fractal/internal/mobilecode"
@@ -45,6 +48,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	timing := fs.Bool("timing", false, "print a per-analyzer wall-time report to stderr")
+	budget := fs.Duration("time-budget", 0, "fail if the analysis wall time exceeds this duration (0 = no budget)")
 	pads := fs.Bool("pads", false, "verify builtin PAD bytecode (and any packed module files given as arguments) instead of Go sources")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,7 +89,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	start := time.Now()
+	diags, timings := analysis.RunTimed(pkgs, analyzers)
+	wall := time.Since(start)
 	switch {
 	case *sarifOut:
 		// A clean run still emits a valid (empty-results) log so the CI
@@ -110,10 +117,34 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	if *timing {
+		printTimings(stderr, timings, wall, len(pkgs))
+	}
+	if *budget > 0 && wall > *budget {
+		fmt.Fprintf(stderr, "fractal-vet: analysis took %s, over the %s budget\n",
+			wall.Round(time.Millisecond), *budget)
+		return 1
+	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printTimings renders the per-analyzer wall-time report, slowest first.
+// Analyzer entries are cumulative across packages and overlap (analyzers
+// run concurrently within each package), so their sum exceeds the wall
+// line; "(summaries)" is the one-off interprocedural program build. The
+// wall line is what the -time-budget flag compares against.
+func printTimings(w *os.File, timings []analysis.Timing, wall time.Duration, npkgs int) {
+	sorted := make([]analysis.Timing, len(timings))
+	copy(sorted, timings)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Duration > sorted[j].Duration })
+	fmt.Fprintf(w, "fractal-vet timing (%d packages):\n", npkgs)
+	for _, t := range sorted {
+		fmt.Fprintf(w, "  %-12s %12s\n", t.Analyzer, t.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "  %-12s %12s\n", "wall", wall.Round(time.Microsecond))
 }
 
 // padReport is the JSON shape of one verified (or rejected) module in

@@ -140,6 +140,80 @@ func TestRunSARIFFindings(t *testing.T) {
 	}
 }
 
+// TestRunSARIFRelatedLocations checks an interprocedural finding's
+// secondary positions (decode site, callee sink, lock acquisition) come
+// through as SARIF relatedLocations with their own messages.
+func TestRunSARIFRelatedLocations(t *testing.T) {
+	diags := []analysis.Diagnostic{{
+		Analyzer: "wiretaint",
+		File:     "/mod/internal/inp/frame.go",
+		Line:     40,
+		Col:      15,
+		Message:  "wire-decoded integer n flows into make size",
+		Related: []analysis.Related{
+			{File: "/mod/internal/inp/frame.go", Line: 31, Col: 12, Message: "wire-decoded here"},
+			{File: "/mod/internal/inp/alloc.go", Line: 9, Col: 22, Message: "allocation sink inside the callee"},
+		},
+	}}
+	log := analysis.SARIF(diags, analysis.Analyzers(), "/mod")
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"relatedLocations":[`,
+		`"uri":"internal/inp/alloc.go"`,
+		`"startLine":31`,
+		`"message":{"text":"wire-decoded here"}`,
+		`"message":{"text":"allocation sink inside the callee"}`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("SARIF output missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestRunTiming checks -timing prints a per-analyzer report (to stderr)
+// with the summaries pseudo-entry and the wall line the budget compares
+// against.
+func TestRunTiming(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-timing", "../../internal/netsim"}, f, f)
+	})
+	if code != 0 {
+		t.Fatalf("run -timing internal/netsim = %d, want 0 (output: %s)", code, out)
+	}
+	for _, want := range []string{"fractal-vet timing", "(summaries)", "wall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-timing output missing %q:\n%s", want, out)
+		}
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-timing output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestRunTimeBudget checks an absurdly small budget fails the run even
+// on a clean package, and a generous one does not.
+func TestRunTimeBudget(t *testing.T) {
+	var code int
+	out := capture(t, func(f *os.File) {
+		code = run([]string{"-time-budget", "1ns", "../../internal/netsim"}, f, f)
+	})
+	if code != 1 {
+		t.Fatalf("run -time-budget 1ns = %d, want 1 (output: %s)", code, out)
+	}
+	if !strings.Contains(out, "over the 1ns budget") {
+		t.Errorf("budget failure not reported:\n%s", out)
+	}
+	if code := capture2(t, []string{"-time-budget", "10m", "../../internal/netsim"}); code != 0 {
+		t.Fatalf("run -time-budget 10m = %d, want 0", code)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if code := capture2(t, []string{"-json", "-sarif"}); code != 2 {
 		t.Fatalf("run -json -sarif = %d, want 2 (mutually exclusive)", code)

@@ -30,10 +30,17 @@
 //   - hotpath:    (flow-sensitive) functions annotated //fractal:hotpath
 //     avoid per-call allocation constructs, pinning the
 //     benchmarked allocs/op.
+//   - goleak:     (interprocedural) goroutines spawned in the serving-plane
+//     packages are tied to a context/close/deadline exit signal,
+//     so a stalled peer cannot leak a goroutine per session.
 //
-// The last three run on a shared intraprocedural CFG + forward-dataflow
-// engine (cfg.go, dataflow.go) — the host-language sibling of the PAD
-// bytecode verifier's stack checker.
+// The flow-sensitive analyzers run on a shared intraprocedural CFG +
+// forward-dataflow engine (cfg.go, dataflow.go) — the host-language
+// sibling of the PAD bytecode verifier's stack checker. On top of that,
+// a call graph with bottom-up function summaries (callgraph.go,
+// summary.go) lets lockheld, wiretaint, and goleak see through calls:
+// taint transfer, blocking behaviour, and spawn obligations compose
+// across any number of in-set hops.
 //
 // A finding can be suppressed at a genuine exception site (for example a
 // real-I/O read deadline) with a checked annotation comment on the same or
@@ -49,8 +56,12 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -61,6 +72,18 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	// Related points at the other ends of an interprocedural finding: the
+	// decode site feeding a sink, the lock acquisition a blocking call
+	// violates, the unguarded operation inside a leaked goroutine.
+	Related []Related `json:"related,omitempty"`
+}
+
+// Related is one secondary location attached to a diagnostic.
+type Related struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
 }
 
 // String renders the conventional file:line:col form.
@@ -76,16 +99,23 @@ type Analyzer struct {
 }
 
 // Pass carries one analyzer's view of one package and collects its
-// diagnostics.
+// diagnostics. Prog is the interprocedural view of the whole Run package
+// set (call graph + function summaries); it is shared and read-only.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	Prog     *Program
 	diags    []Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportRelated(pos, nil, format, args...)
+}
+
+// ReportRelated records a finding at pos carrying secondary locations.
+func (p *Pass) ReportRelated(pos token.Pos, related []Related, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -94,7 +124,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Related:  related,
 	})
+}
+
+// RelatedAt builds one Related entry from a position in this pass's
+// file set. An invalid position yields a zero entry the caller should
+// drop; every current call site passes positions of nodes it just
+// visited, so the guard is belt and braces.
+func (p *Pass) RelatedAt(pos token.Pos, message string) Related {
+	if !pos.IsValid() {
+		return Related{Message: message}
+	}
+	position := p.Fset.Position(pos)
+	return Related{File: position.Filename, Line: position.Line, Col: position.Column, Message: message}
 }
 
 // AllowPrefix introduces a suppression annotation comment.
@@ -137,16 +180,58 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allowAnnotation {
 	return out
 }
 
+// Timing is one analyzer's cumulative wall time across the whole run
+// (the pseudo-entry "(summaries)" is the interprocedural program build:
+// call graph plus bottom-up function summaries).
+type Timing struct {
+	Analyzer string        `json:"analyzer"`
+	Duration time.Duration `json:"duration"`
+}
+
 // Run executes the analyzers over the packages, applies allow annotations,
 // reports unused annotations, and returns the surviving diagnostics sorted
 // by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting. Within each
+// package the analyzers execute concurrently (they are independent by
+// construction: each gets its own Pass, and Package/Program are read-only
+// by the time analyzers run), bounded by GOMAXPROCS so vet time stays
+// flat as the suite grows.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	t0 := time.Now()
+	prog := BuildProgram(pkgs)
+	progDur := time.Since(t0)
+
+	durations := make([]atomic.Int64, len(analyzers))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg}
-			a.Run(pass)
+		passes := make([]*Pass, len(analyzers))
+		var wg sync.WaitGroup
+		for i, a := range analyzers {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, a *Analyzer) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				start := time.Now()
+				pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Prog: prog}
+				a.Run(pass)
+				durations[i].Add(int64(time.Since(start)))
+				passes[i] = pass
+			}(i, a)
+		}
+		wg.Wait()
+		// Sequential collection in analyzer order keeps the output (and the
+		// allow bookkeeping) deterministic regardless of scheduling.
+		for _, pass := range passes {
 			for _, d := range pass.diags {
 				if suppressed(d, allows) {
 					continue
@@ -187,7 +272,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	timings := make([]Timing, 0, len(analyzers)+1)
+	timings = append(timings, Timing{Analyzer: "(summaries)", Duration: progDur})
+	for i, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Duration: time.Duration(durations[i].Load())})
+	}
+	return out, timings
 }
 
 // suppressed reports whether an annotation on the diagnostic's line or the
@@ -218,6 +308,7 @@ func Analyzers() []*Analyzer {
 		LockheldAnalyzer,
 		WiretaintAnalyzer,
 		HotpathAnalyzer,
+		GoleakAnalyzer,
 	}
 }
 

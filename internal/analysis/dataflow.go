@@ -34,13 +34,25 @@ type FlowAnalysis[F any] struct {
 func ForwardFixpoint[F any](g *CFG, an FlowAnalysis[F]) map[*Block]F {
 	in := make(map[*Block]F, len(g.Blocks))
 	in[g.Entry] = an.Entry()
-	work := []*Block{g.Entry}
+	// FIFO worklist with membership dedup: a block whose input changes
+	// while it is already pending is not enqueued again — the pending
+	// visit will see the joined fact. Without the dedup, a wide join point
+	// (a 200-case switch funnelling into one block) would be enqueued once
+	// per incoming edge and transfer quadratically. Popping advances a
+	// head index instead of re-slicing so the queue memory is reused once
+	// the head catches up.
+	work := make([]*Block, 1, len(g.Blocks)+1)
+	work[0] = g.Entry
+	head := 0
 	queued := make([]bool, len(g.Blocks))
 	queued[g.Entry.Index] = true
 	maxSteps := 64*len(g.Blocks) + 256
-	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
-		b := work[0]
-		work = work[1:]
+	for steps := 0; head < len(work) && steps < maxSteps; steps++ {
+		b := work[head]
+		head++
+		if head == len(work) {
+			work, head = work[:0], 0
+		}
 		queued[b.Index] = false
 		out := an.Transfer(b, in[b])
 		for _, e := range b.Succs {

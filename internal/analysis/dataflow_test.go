@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFixpointWideSwitchBounded pins the worklist's pending-block dedup:
+// a 200-case switch funnels 200 edges into the statement after it;
+// without dedup the join block would be enqueued once per incoming edge
+// and the fixpoint would transfer quadratically. The bound is generous
+// (2x the block count) but a regression to per-edge enqueueing blows
+// straight through it — even with the maxSteps backstop, the step cap
+// (64x blocks) sits far above this bound.
+func TestFixpointWideSwitchBounded(t *testing.T) {
+	const cases = 200
+	var sb strings.Builder
+	sb.WriteString("x := 0\nswitch x {\n")
+	for i := 0; i < cases; i++ {
+		fmt.Fprintf(&sb, "case %d:\n\tx = %d\n", i+1, i+1)
+	}
+	sb.WriteString("}\nx++")
+	g, _ := buildTestCFG(t, sb.String())
+	if len(g.Blocks) < cases {
+		t.Fatalf("CFG too small: %d blocks for a %d-case switch", len(g.Blocks), cases)
+	}
+	transfers := 0
+	an := FlowAnalysis[int]{
+		Entry: func() int { return 0 },
+		Transfer: func(b *Block, in int) int {
+			transfers++
+			return in
+		},
+		Join: func(a, b int) int {
+			if b > a {
+				return b
+			}
+			return a
+		},
+		Equal: func(a, b int) bool { return a == b },
+	}
+	facts := ForwardFixpoint(g, an)
+	if len(facts) == 0 {
+		t.Fatal("no blocks reached")
+	}
+	if bound := 2 * len(g.Blocks); transfers > bound {
+		t.Fatalf("fixpoint ran Transfer %d times over %d blocks (bound %d): worklist dedup lost",
+			transfers, len(g.Blocks), bound)
+	}
+}
+
+// TestFixpointWideSwitchConverges verifies the same CFG converges to the
+// joined fact at the block after the switch even though each case writes
+// a different value — the join really does see every edge despite the
+// dedup coalescing the visits.
+func TestFixpointWideSwitchConverges(t *testing.T) {
+	const cases = 50
+	var sb strings.Builder
+	sb.WriteString("x := 0\nswitch x {\n")
+	for i := 0; i < cases; i++ {
+		fmt.Fprintf(&sb, "case %d:\n\tx = %d\n", i+1, i+1)
+	}
+	sb.WriteString("}\nx++")
+	g, fset := buildTestCFG(t, sb.String())
+	// Fact: the maximum case index whose block was traversed on some path.
+	caseOf := map[*Block]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			var idx int
+			if _, err := fmt.Sscanf(nodeText(fset, n), "x = %d", &idx); err == nil {
+				caseOf[b] = idx
+			}
+		}
+	}
+	an := FlowAnalysis[int]{
+		Entry: func() int { return 0 },
+		Transfer: func(b *Block, in int) int {
+			if idx, ok := caseOf[b]; ok && idx > in {
+				return idx
+			}
+			return in
+		},
+		Join: func(a, b int) int {
+			if b > a {
+				return b
+			}
+			return a
+		},
+		Equal: func(a, b int) bool { return a == b },
+	}
+	facts := ForwardFixpoint(g, an)
+	after := blockWith(t, g, fset, "x++")
+	if got := facts[after]; got != cases {
+		t.Fatalf("join after the switch saw max case %d, want %d", got, cases)
+	}
+}

@@ -221,6 +221,33 @@ func TestWiretaintFixtures(t *testing.T) {
 	checkFixture(t, WiretaintAnalyzer, filepath.Join("testdata", "wiretaint", "good"), "fractal/internal/inp")
 }
 
+// TestWiretaintInterFixtures pins the interprocedural taint paths: a
+// wire length laundered through two call hops still reaches the sink
+// (and is reported at the caller's argument), while caller-side guards,
+// callee-internal clamps, and min() all sanitize.
+func TestWiretaintInterFixtures(t *testing.T) {
+	checkFixture(t, WiretaintAnalyzer, filepath.Join("testdata", "wiretaint", "inter", "bad"), "fractal/internal/inp")
+	checkFixture(t, WiretaintAnalyzer, filepath.Join("testdata", "wiretaint", "inter", "good"), "fractal/internal/inp")
+}
+
+// TestLockheldInterFixtures pins the interprocedural lock discipline: a
+// mutex held across a call to a transitively-blocking helper (conn I/O
+// or a dial, one or two hops down) is reported; snapshot-then-call is
+// clean.
+func TestLockheldInterFixtures(t *testing.T) {
+	checkFixture(t, LockheldAnalyzer, filepath.Join("testdata", "lockheld", "inter", "bad"), "fractal/internal/client")
+	checkFixture(t, LockheldAnalyzer, filepath.Join("testdata", "lockheld", "inter", "good"), "fractal/internal/client")
+}
+
+// TestGoleakFixtures pins the goroutine-leak verdicts: spawns blocking
+// on channels nobody closes (or looping forever) are reported; spawns
+// tied to a context case, a package-closed channel, or visible
+// buffering are clean.
+func TestGoleakFixtures(t *testing.T) {
+	checkFixture(t, GoleakAnalyzer, filepath.Join("testdata", "goleak", "bad"), "fractal/internal/client")
+	checkFixture(t, GoleakAnalyzer, filepath.Join("testdata", "goleak", "good"), "fractal/internal/client")
+}
+
 func TestHotpathFixtures(t *testing.T) {
 	checkFixture(t, HotpathAnalyzer, filepath.Join("testdata", "hotpath", "bad"), "fractal/internal/core")
 	checkFixture(t, HotpathAnalyzer, filepath.Join("testdata", "hotpath", "good"), "fractal/internal/core")

@@ -88,8 +88,17 @@ func runLockheld(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			// The enclosing ProgFunc supplies the locally-evident bindings
+			// for interprocedural call resolution; its binding maps cover
+			// nested literals too (localBindings walks the whole decl body).
+			var pf *ProgFunc
+			if pass.Prog != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pf = pass.Prog.FuncOf(fn)
+				}
+			}
 			for _, g := range funcCFGs(fd.Body) {
-				orders = append(orders, lockheldFunc(pass, g)...)
+				orders = append(orders, lockheldFunc(pass, g, pf)...)
 			}
 		}
 	}
@@ -99,10 +108,10 @@ func runLockheld(pass *Pass) {
 // lockheldFunc runs the fixpoint over one function (or function literal)
 // and replays each reached block once to report, returning the lock-order
 // observations for the package-wide pass.
-func lockheldFunc(pass *Pass, g *CFG) []orderSite {
+func lockheldFunc(pass *Pass, g *CFG, pf *ProgFunc) []orderSite {
 	an := FlowAnalysis[lockFact]{
 		Entry:    func() lockFact { return lockFact{} },
-		Transfer: func(b *Block, in lockFact) lockFact { return lockTransfer(pass, g, b, in, nil, nil) },
+		Transfer: func(b *Block, in lockFact) lockFact { return lockTransfer(pass, g, b, in, nil, nil, pf) },
 		Join:     lockJoin,
 		Equal:    lockEqual,
 	}
@@ -113,7 +122,7 @@ func lockheldFunc(pass *Pass, g *CFG) []orderSite {
 		if !reached {
 			continue
 		}
-		lockTransfer(pass, g, b, in, pass, &orders)
+		lockTransfer(pass, g, b, in, pass, &orders, pf)
 	}
 	return orders
 }
@@ -121,7 +130,7 @@ func lockheldFunc(pass *Pass, g *CFG) []orderSite {
 // lockTransfer pushes the held-set through one block. With rep non-nil it
 // also reports findings and records lock-order observations — the replay
 // pass after the fixpoint converged.
-func lockTransfer(pass *Pass, g *CFG, b *Block, in lockFact, rep *Pass, orders *[]orderSite) lockFact {
+func lockTransfer(pass *Pass, g *CFG, b *Block, in lockFact, rep *Pass, orders *[]orderSite, pf *ProgFunc) lockFact {
 	held := in
 	cloned := false
 	mutate := func() lockFact {
@@ -178,6 +187,17 @@ func lockTransfer(pass *Pass, g *CFG, b *Block, in lockFact, rep *Pass, orders *
 				if rep != nil && len(held) > 0 {
 					if desc, ok := blockingCall(pass, n); ok {
 						rep.Reportf(n.Pos(), "%s while %s is held; a stalled peer parks every caller behind the lock (release it, or annotate a deliberate serialization point with //%s lockheld)", desc, heldNames(held), AllowPrefix)
+					} else if callee := pass.Prog.resolveCall(pass.Pkg, pf, n); callee != nil && callee.Summary != nil && callee.Summary.Blocks {
+						// Interprocedural: the callee is not itself a blocking
+						// primitive, but its summary says some operation it
+						// (transitively) performs can block indefinitely.
+						cs := callee.Summary
+						related := []Related{
+							rep.RelatedAt(heldAcquisition(held), "lock acquired here"),
+							rep.RelatedAt(cs.LeafPos, "blocking operation inside the callee: "+cs.LeafDesc),
+						}
+						rep.ReportRelated(n.Pos(), related, "call to %s (may block: %s) while %s is held; a stalled peer parks every caller behind the lock (release it, or annotate a deliberate serialization point with //%s lockheld)",
+							shortFuncName(callee), cs.LeafDesc, heldNames(held), AllowPrefix)
 					}
 				}
 			case *ast.SendStmt:
@@ -224,6 +244,20 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 		}
 	}
 	return false
+}
+
+// heldAcquisition returns the acquisition site of the first held lock in
+// name order — the deterministic anchor for related-location reporting.
+func heldAcquisition(held lockFact) token.Pos {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return token.NoPos
+	}
+	return held[keys[0]].pos
 }
 
 // heldNames renders the held set deterministically for messages.

@@ -43,6 +43,11 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// RelatedLocations carries the other ends of an interprocedural
+	// finding (decode site and callee sink, lock acquisition and blocking
+	// leaf, the unguarded operation inside a leaked goroutine) so code
+	// scanning renders the full chain, not just the report line.
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifMessage struct {
@@ -51,6 +56,7 @@ type sarifMessage struct {
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
 }
 
 type sarifPhysicalLocation struct {
@@ -83,6 +89,19 @@ func SARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) *sarifLo
 	})
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
+		var related []sarifLocation
+		for _, r := range d.Related {
+			if r.File == "" {
+				continue
+			}
+			related = append(related, sarifLocation{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(r.File, moduleDir)},
+					Region:           sarifRegion{StartLine: r.Line, StartColumn: r.Col},
+				},
+				Message: &sarifMessage{Text: r.Message},
+			})
+		}
 		results = append(results, sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "error",
@@ -93,6 +112,7 @@ func SARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) *sarifLo
 					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
 				},
 			}},
+			RelatedLocations: related,
 		})
 	}
 	return &sarifLog{

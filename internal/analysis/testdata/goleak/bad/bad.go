@@ -1,0 +1,32 @@
+// Package client (fixture): goroutines whose exit is tied to nothing —
+// no context case, no close anywhere in the package, no deadline. Each
+// stalled peer leaks one goroutine forever.
+package client
+
+// Watcher fans updates out to a subscriber.
+type Watcher struct {
+	updates chan int
+}
+
+// Run pumps updates forever: the receive has no exit signal, and nobody
+// closes updates in this package.
+func (w *Watcher) Run() {
+	go func() { //want goleak:2
+		for {
+			v := <-w.updates
+			_ = v
+		}
+	}()
+}
+
+// forward loops forever with no way out.
+func forward(in chan int, out chan int) {
+	for {
+		out <- <-in
+	}
+}
+
+// Start spawns the forwarder: leaked per call.
+func Start(in, out chan int) {
+	go forward(in, out) //want goleak:2
+}

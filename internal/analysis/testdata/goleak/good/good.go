@@ -1,0 +1,53 @@
+// Package client (fixture): every spawned goroutine observes a shutdown
+// signal (context case in its select), drains a channel this package
+// closes, or hands off into visible buffering.
+package client
+
+import "context"
+
+// Watcher owns channels closed at shutdown.
+type Watcher struct {
+	updates chan int
+	done    chan struct{}
+}
+
+// Run pumps updates until the context ends.
+func (w *Watcher) Run(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case v := <-w.updates:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// drainUpdates consumes the updates channel; Close closes it.
+func (w *Watcher) drainUpdates() {
+	for range w.updates {
+	}
+}
+
+// Flush spawns the drain; Close (closing updates) ends it.
+func (w *Watcher) Flush() {
+	go w.drainUpdates()
+}
+
+// Close releases the pump and the drain.
+func (w *Watcher) Close() {
+	close(w.done)
+	close(w.updates)
+}
+
+// Count ships one result into a buffered slot: bounded handoff, the
+// send cannot park the goroutine.
+func Count() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}

@@ -1,0 +1,52 @@
+// Package client (fixture): a mutex held across a call whose callee
+// transitively blocks is the same pile-up as holding it across the
+// blocking primitive itself. The interprocedural pass sees through the
+// helper chain via function summaries.
+package client
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Session wraps a conn behind a mutex.
+type Session struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ping performs conn I/O: it may block on the peer.
+func (s *Session) ping() error {
+	_, err := s.conn.Write([]byte("ping"))
+	return err
+}
+
+// heartbeat wraps ping: still blocking, one more hop away.
+func (s *Session) heartbeat() error {
+	return s.ping()
+}
+
+// Beat holds mu across the transitively-blocking helper chain.
+func (s *Session) Beat() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heartbeat() //want lockheld:9
+}
+
+// reconnect dials: it can block for the full dial timeout.
+func reconnect() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:9", time.Second)
+}
+
+// Redial holds mu across the dialing helper.
+func (s *Session) Redial() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := reconnect() //want lockheld:12
+	if err != nil {
+		return err
+	}
+	s.conn = c
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package client (fixture): the same helper chains as the bad fixture,
+// restructured so the lock is never held across a transitively-blocking
+// call — snapshot under the lock, block outside it.
+package client
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Session wraps a conn behind a mutex.
+type Session struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ping performs conn I/O: it may block on the peer.
+func (s *Session) ping() error {
+	_, err := s.conn.Write([]byte("ping"))
+	return err
+}
+
+// heartbeat wraps ping: still blocking, one more hop away.
+func (s *Session) heartbeat() error {
+	return s.ping()
+}
+
+// Beat releases mu before the blocking helper chain.
+func (s *Session) Beat() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.heartbeat()
+}
+
+// reconnect dials: it can block for the full dial timeout.
+func reconnect() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:9", time.Second)
+}
+
+// Redial dials first and installs the result under the lock.
+func (s *Session) Redial() error {
+	c, err := reconnect()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package inp (fixture): wire-derived lengths laundered through helper
+// calls still reach allocation sinks. The interprocedural pass follows
+// taint through two call hops (decoder result -> arithmetic helper ->
+// sinking callee) without any body inlining.
+package inp
+
+import (
+	"bufio"
+	"encoding/binary"
+)
+
+// readLen is hop one: its first result is wire-derived.
+func readLen(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// scale is hop two: the result carries its parameter's taint.
+func scale(n uint64) uint64 {
+	return n * 3
+}
+
+// alloc sinks its parameter into an allocation size with no bound.
+func alloc(n uint64) []byte {
+	return make([]byte, n)
+}
+
+// grow forwards its parameter into alloc: the sink is two hops deep.
+func grow(n uint64) []byte {
+	return alloc(n + 8)
+}
+
+// decodeBody launders a wire length through both helpers before sizing
+// the buffer: flagged at the argument feeding the sinking callee.
+func decodeBody(r *bufio.Reader) ([]byte, error) {
+	n, err := readLen(r)
+	if err != nil {
+		return nil, err
+	}
+	m := scale(n)
+	return alloc(m), nil //want wiretaint:15
+}
+
+// decodeDirect consumes a summarized decoder's result directly in a
+// local make.
+func decodeDirect(r *bufio.Reader) []byte {
+	buf := make([]byte, scale(mustLen(r))) //want wiretaint:22
+	return buf
+}
+
+// mustLen is a decoder that swallows the error (single-result hop).
+func mustLen(r *bufio.Reader) uint64 {
+	n, _ := readLen(r)
+	return n
+}
+
+// readPayload hits a sink two call hops away.
+func readPayload(r *bufio.Reader) []byte {
+	n, _ := readLen(r)
+	return grow(n) //want wiretaint:14
+}

@@ -1,0 +1,63 @@
+// Package inp (fixture): the same helper chains as the bad fixture, but
+// every wire-derived length is bounded before it can size an allocation
+// — by a caller-side guard, a callee-internal clamp, or the min builtin.
+package inp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+)
+
+const maxFrame = 1 << 16
+
+var errTooBig = errors.New("frame too large")
+
+// readLen is the decoder: its first result is wire-derived.
+func readLen(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// scale passes its parameter's taint through.
+func scale(n uint64) uint64 {
+	return n * 3
+}
+
+// alloc sinks its parameter; callers must bound what they pass.
+func alloc(n uint64) []byte {
+	return make([]byte, n)
+}
+
+// decodeBounded checks the decoded length before the helper chain: the
+// guarded edge sanitizes the taint and nothing downstream fires.
+func decodeBounded(r *bufio.Reader) ([]byte, error) {
+	n, err := readLen(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errTooBig
+	}
+	return alloc(scale(n)), nil
+}
+
+// clampAlloc bounds its parameter internally, so its summary records no
+// sink parameters and tainted callers stay clean.
+func clampAlloc(n uint64) []byte {
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]byte, n)
+}
+
+// decodeClamped relies on the callee's internal clamp.
+func decodeClamped(r *bufio.Reader) []byte {
+	n, _ := readLen(r)
+	return clampAlloc(n)
+}
+
+// decodeMin clamps through the min builtin before the sinking helper.
+func decodeMin(r *bufio.Reader) []byte {
+	n, _ := readLen(r)
+	return alloc(min(n, maxFrame))
+}

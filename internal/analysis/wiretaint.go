@@ -23,26 +23,60 @@ const taintBoundMax = 1 << 24
 
 // WiretaintAnalyzer runs a may-taint dataflow over each function's CFG:
 // integers produced by wire decoders (binary.ReadUvarint, ByteOrder
-// Uint16/32/64, and one-level local wrappers around them) are tainted;
-// branch conditions that upper-bound a tainted variable against a sane
-// limit sanitize it on the guarded edge; tainted values reaching an
-// allocation-size sink (make, slices.Grow, io.CopyN) are reported.
+// Uint16/32/64, local wrappers, and — via the summary engine — any
+// in-set function whose result is wire-derived) are tainted; branch
+// conditions that upper-bound a tainted variable against a sane limit
+// sanitize it on the guarded edge; tainted values reaching an
+// allocation-size sink (make, slices.Grow, io.CopyN — directly or as an
+// argument to a function whose summary says the parameter reaches such a
+// sink) are reported. The interprocedural halves both come from
+// summary.go, so taint laundered through any number of helper calls is
+// still caught.
 var WiretaintAnalyzer = &Analyzer{
 	Name: "wiretaint",
 	Doc:  "flag wire-decoded integers flowing into allocation sizes without a bound check",
 	Run:  runWiretaint,
 }
 
-// taintFact is the may-tainted set of integer variables. Join is union.
-type taintFact map[*types.Var]bool
+// taintedBit marks a value as wire-derived. The remaining bits are
+// parameter indices — "tainted iff parameter i is" — used only while
+// computing a function's summary.
+const taintedBit = uint64(1) << 63
+
+// taintVal is the abstract value of one integer variable: which taint it
+// may carry, and (when wire-derived) the earliest decode site that
+// introduced it, for related-location reporting.
+type taintVal struct {
+	mask uint64
+	src  token.Pos
+}
+
+func (v taintVal) tainted() bool { return v.mask&taintedBit != 0 }
+func (v taintVal) zero() bool    { return v.mask == 0 }
+
+// joinVal unions the masks and keeps the earliest valid source.
+func joinVal(a, b taintVal) taintVal {
+	out := taintVal{mask: a.mask | b.mask, src: a.src}
+	if !out.src.IsValid() || (b.src.IsValid() && b.src < out.src) {
+		out.src = b.src
+	}
+	return out
+}
+
+// taintFact is the may-taint set. Join is pointwise union.
+type taintFact map[*types.Var]taintVal
 
 func taintJoin(a, b taintFact) taintFact {
 	out := make(taintFact, len(a)+len(b))
-	for v := range a {
-		out[v] = true
+	for v, tv := range a {
+		out[v] = tv
 	}
-	for v := range b {
-		out[v] = true
+	for v, tv := range b {
+		if cur, ok := out[v]; ok {
+			out[v] = joinVal(cur, tv)
+		} else {
+			out[v] = tv
+		}
 	}
 	return out
 }
@@ -51,8 +85,8 @@ func taintEqual(a, b taintFact) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for v := range a {
-		if !b[v] {
+	for v, tv := range a {
+		if b[v] != tv {
 			return false
 		}
 	}
@@ -69,11 +103,100 @@ func runWiretaint(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			wrappers := sourceWrappers(pass, fd.Body)
+			wrappers := sourceWrappers(pass.Pkg, fd.Body)
+			var pf *ProgFunc
+			if pass.Prog != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pf = pass.Prog.FuncOf(fn)
+				}
+			}
 			for _, g := range funcCFGs(fd.Body) {
-				wiretaintFunc(pass, g, wrappers)
+				ctx := &taintCtx{pkg: pass.Pkg, prog: pass.Prog, pf: pf, wrappers: wrappers, pass: pass}
+				ctx.run(g, nil)
 			}
 		}
+	}
+}
+
+// summarizeTaint computes the taint-transfer half of pf's summary: which
+// results are wire-derived (unconditionally or via parameters) and which
+// integer parameters flow into allocation sinks unchecked. It reuses the
+// same engine the analyzer runs, with parameters seeded as symbolic taint
+// and no reporting.
+func summarizeTaint(p *Program, pf *ProgFunc, s *FuncSummary) {
+	sig, ok := pf.Fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	ctx := &taintCtx{
+		pkg:      pf.Pkg,
+		prog:     p,
+		pf:       pf,
+		wrappers: sourceWrappers(pf.Pkg, pf.Decl.Body),
+		collect:  true,
+		numRes:   sig.Results().Len(),
+		resIndex: map[*types.Var]int{},
+	}
+	entry := taintFact{}
+	for i := 0; i < sig.Params().Len() && i < 62; i++ {
+		v := sig.Params().At(i)
+		if isIntegerVar(v) {
+			entry[v] = taintVal{mask: uint64(1) << uint(i)}
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		ctx.resIndex[sig.Results().At(i)] = i
+	}
+	ctx.entry = entry
+	g := BuildCFG(pf.Decl.Body)
+	ctx.run(g, entry)
+	if len(ctx.resultSpecs) > 0 {
+		s.Results = ctx.resultSpecs
+	}
+	if len(ctx.sinkParams) > 0 {
+		s.SinkParams = ctx.sinkParams
+	}
+}
+
+// taintCtx is one engine instance: reporting mode (pass != nil) for the
+// analyzer, collect mode for summaries.
+type taintCtx struct {
+	pkg      *Package
+	prog     *Program
+	pf       *ProgFunc
+	wrappers map[*types.Var]bool
+	pass     *Pass
+
+	// collect mode
+	collect     bool
+	entry       taintFact
+	numRes      int
+	resIndex    map[*types.Var]int
+	resultSpecs []TaintSpec
+	sinkParams  map[int]SinkSite
+}
+
+// run executes the fixpoint and the reporting/collection replay.
+func (c *taintCtx) run(g *CFG, entry taintFact) {
+	an := FlowAnalysis[taintFact]{
+		Entry: func() taintFact {
+			if entry == nil {
+				return taintFact{}
+			}
+			return entry
+		},
+		Transfer: func(b *Block, in taintFact) taintFact { return c.transfer(b, in, false) },
+		Refine:   c.refine,
+		Join:     taintJoin,
+		Equal:    taintEqual,
+	}
+	facts := ForwardFixpoint(g, an)
+	for _, b := range g.Blocks {
+		in, reached := facts[b]
+		if !reached {
+			continue
+		}
+		c.transfer(b, in, true)
 	}
 }
 
@@ -81,7 +204,7 @@ func runWiretaint(pass *Pass) {
 // decoders: `readU := func(...) ... { ... binary.ReadUvarint ... }`. Calls
 // through such a variable taint their first result like the decoder
 // itself.
-func sourceWrappers(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+func sourceWrappers(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
 	wrappers := map[*types.Var]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -97,9 +220,9 @@ func sourceWrappers(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
 			return true
 		}
 		var v *types.Var
-		if def, ok := pass.Pkg.Info.Defs[id].(*types.Var); ok {
+		if def, ok := pkg.Info.Defs[id].(*types.Var); ok {
 			v = def
-		} else if use, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+		} else if use, ok := pkg.Info.Uses[id].(*types.Var); ok {
 			v = use
 		}
 		if v == nil {
@@ -107,7 +230,7 @@ func sourceWrappers(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
 		}
 		callsSource := false
 		ast.Inspect(lit.Body, func(m ast.Node) bool {
-			if call, ok := m.(*ast.CallExpr); ok && isWireSource(pass, call, nil) {
+			if call, ok := m.(*ast.CallExpr); ok && isWireSource(pkg, call, nil) {
 				callsSource = true
 				return false
 			}
@@ -121,40 +244,17 @@ func sourceWrappers(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
 	return wrappers
 }
 
-type taintCtx struct {
-	pass     *Pass
-	wrappers map[*types.Var]bool
-}
-
-func wiretaintFunc(pass *Pass, g *CFG, wrappers map[*types.Var]bool) {
-	ctx := &taintCtx{pass: pass, wrappers: wrappers}
-	an := FlowAnalysis[taintFact]{
-		Entry:    func() taintFact { return taintFact{} },
-		Transfer: func(b *Block, in taintFact) taintFact { return ctx.transfer(b, in, false) },
-		Refine:   ctx.refine,
-		Join:     taintJoin,
-		Equal:    taintEqual,
-	}
-	entry := ForwardFixpoint(g, an)
-	for _, b := range g.Blocks {
-		in, reached := entry[b]
-		if !reached {
-			continue
-		}
-		ctx.transfer(b, in, true)
-	}
-}
-
-// transfer pushes the taint set through one block; with report set it also
-// flags tainted values reaching allocation sinks.
-func (c *taintCtx) transfer(b *Block, in taintFact, report bool) taintFact {
+// transfer pushes the taint set through one block; with final set it also
+// flags (or, in collect mode, records) taint reaching allocation sinks
+// and accumulates result specs at returns.
+func (c *taintCtx) transfer(b *Block, in taintFact, final bool) taintFact {
 	fact := in
 	cloned := false
 	mutate := func() taintFact {
 		if !cloned {
 			cp := make(taintFact, len(fact))
-			for v := range fact {
-				cp[v] = true
+			for v, tv := range fact {
+				cp[v] = tv
 			}
 			fact, cloned = cp, true
 		}
@@ -164,7 +264,7 @@ func (c *taintCtx) transfer(b *Block, in taintFact, report bool) taintFact {
 	for _, node := range b.Nodes {
 		switch n := node.(type) {
 		case *ast.AssignStmt:
-			if report {
+			if final {
 				c.checkSinks(n, fact)
 			}
 			c.assign(n, fact, mutate)
@@ -176,16 +276,25 @@ func (c *taintCtx) transfer(b *Block, in taintFact, report bool) taintFact {
 						continue
 					}
 					for i, name := range vs.Names {
-						if i < len(vs.Values) && c.exprTainted(vs.Values[i], fact) {
-							if v, ok := c.pass.Pkg.Info.Defs[name].(*types.Var); ok {
-								mutate()[v] = true
+						if i < len(vs.Values) {
+							if tv := c.exprTaint(vs.Values[i], fact); !tv.zero() {
+								if v, ok := c.pkg.Info.Defs[name].(*types.Var); ok {
+									mutate()[v] = tv
+								}
 							}
 						}
 					}
 				}
 			}
+		case *ast.ReturnStmt:
+			if final {
+				c.checkSinks(node, fact)
+				if c.collect {
+					c.collectReturn(n, fact)
+				}
+			}
 		default:
-			if report {
+			if final {
 				c.checkSinks(node, fact)
 			}
 		}
@@ -193,14 +302,113 @@ func (c *taintCtx) transfer(b *Block, in taintFact, report bool) taintFact {
 	return fact
 }
 
+// collectReturn folds one return statement into the result specs.
+func (c *taintCtx) collectReturn(ret *ast.ReturnStmt, fact taintFact) {
+	if c.numRes == 0 {
+		return
+	}
+	if c.resultSpecs == nil {
+		c.resultSpecs = make([]TaintSpec, c.numRes)
+	}
+	vals := make([]taintVal, c.numRes)
+	switch {
+	case len(ret.Results) == c.numRes:
+		for i, e := range ret.Results {
+			vals[i] = c.exprTaint(e, fact)
+		}
+	case len(ret.Results) == 0:
+		// Bare return: named results carry their current fact.
+		for v, tv := range fact {
+			if i, ok := c.resIndex[v]; ok {
+				vals[i] = tv
+			}
+		}
+	case len(ret.Results) == 1:
+		// return f() forwarding a multi-value call.
+		if call, ok := ret.Results[0].(*ast.CallExpr); ok {
+			if isWireSource(c.pkg, call, c.wrappers) {
+				vals[0] = taintVal{mask: taintedBit, src: call.Pos()}
+			} else if specs := c.specsForCall(call, fact); specs != nil {
+				copy(vals, specs)
+			}
+		}
+	}
+	for i, tv := range vals {
+		spec := &c.resultSpecs[i]
+		if tv.tainted() {
+			spec.Always = true
+			if !spec.SrcPos.IsValid() || (tv.src.IsValid() && tv.src < spec.SrcPos) {
+				spec.SrcPos = tv.src
+			}
+		}
+		spec.Params |= tv.mask &^ taintedBit
+	}
+}
+
+// specsForCall instantiates the callee's per-result taint specs against
+// the argument taints at this call site, or nil when the callee has no
+// summary.
+func (c *taintCtx) specsForCall(call *ast.CallExpr, fact taintFact) []taintVal {
+	sum := c.calleeSummary(call)
+	if sum == nil || len(sum.Results) == 0 {
+		return nil
+	}
+	out := make([]taintVal, len(sum.Results))
+	for i, spec := range sum.Results {
+		out[i] = c.instantiate(spec, call, fact)
+	}
+	return out
+}
+
+// calleeSummary resolves the call through the program, if possible.
+func (c *taintCtx) calleeSummary(call *ast.CallExpr) *FuncSummary {
+	if c.prog == nil {
+		return nil
+	}
+	callee := c.resolveCallee(call)
+	if callee == nil {
+		return nil
+	}
+	return callee.Summary
+}
+
+func (c *taintCtx) resolveCallee(call *ast.CallExpr) *ProgFunc {
+	return c.prog.resolveCall(c.pkg, c.pf, call)
+}
+
+// instantiate maps one result spec to a concrete taint value at a call
+// site: unconditional taint keeps the callee's decode site as source;
+// parameter-conditional taint substitutes the argument taints.
+func (c *taintCtx) instantiate(spec TaintSpec, call *ast.CallExpr, fact taintFact) taintVal {
+	var out taintVal
+	if spec.Always {
+		out.mask |= taintedBit
+		out.src = spec.SrcPos
+	}
+	for p := 0; p < 62; p++ {
+		if spec.Params&(uint64(1)<<uint(p)) == 0 || p >= len(call.Args) {
+			continue
+		}
+		out = joinVal(out, c.exprTaint(call.Args[p], fact))
+	}
+	return out
+}
+
 // assign applies strong updates: a variable assigned from a tainted
 // expression becomes tainted, one assigned from a clean expression becomes
-// clean. Multi-value assignments from a wire source taint position 0.
+// clean. Multi-value assignments from a wire source taint position 0;
+// multi-value assignments from a summarized callee follow its specs.
 func (c *taintCtx) assign(as *ast.AssignStmt, fact taintFact, mutate func() taintFact) {
-	fromSource := false
+	var multiVals []taintVal
 	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
-		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isWireSource(c.pass, call, c.wrappers) {
-			fromSource = true
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if isWireSource(c.pkg, call, c.wrappers) {
+				multiVals = make([]taintVal, len(as.Lhs))
+				multiVals[0] = taintVal{mask: taintedBit, src: call.Pos()}
+			} else if specs := c.specsForCall(call, fact); specs != nil {
+				multiVals = make([]taintVal, len(as.Lhs))
+				copy(multiVals, specs)
+			}
 		}
 	}
 	for i, lhs := range as.Lhs {
@@ -209,96 +417,104 @@ func (c *taintCtx) assign(as *ast.AssignStmt, fact taintFact, mutate func() tain
 			continue
 		}
 		var v *types.Var
-		if def, ok := c.pass.Pkg.Info.Defs[id].(*types.Var); ok {
+		if def, ok := c.pkg.Info.Defs[id].(*types.Var); ok {
 			v = def
-		} else if use, ok := c.pass.Pkg.Info.Uses[id].(*types.Var); ok {
+		} else if use, ok := c.pkg.Info.Uses[id].(*types.Var); ok {
 			v = use
 		}
 		if v == nil || !isIntegerVar(v) {
 			continue
 		}
-		tainted := false
+		var tv taintVal
 		switch {
-		case fromSource:
-			tainted = i == 0
+		case multiVals != nil:
+			tv = multiVals[i]
 		case len(as.Rhs) == len(as.Lhs):
 			rhs := as.Rhs[i]
+			tv = c.exprTaint(rhs, fact)
 			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
 				// Compound (+=, <<=, ...): taint accumulates.
-				tainted = fact[v] || c.exprTainted(rhs, fact)
-			} else {
-				tainted = c.exprTainted(rhs, fact)
+				tv = joinVal(tv, fact[v])
 			}
 		default:
-			// Multi-value from a non-source call: conservatively clean.
+			// Multi-value from an unsummarized call: conservatively clean.
 		}
-		if tainted {
-			mutate()[v] = true
-		} else if fact[v] {
+		if !tv.zero() {
+			mutate()[v] = tv
+		} else if _, had := fact[v]; had {
 			delete(mutate(), v)
 		}
 	}
 }
 
-// exprTainted reports whether evaluating e may yield a wire-controlled
-// integer under the current fact.
-func (c *taintCtx) exprTainted(e ast.Expr, fact taintFact) bool {
+// exprTaint reports the taint an expression's value may carry under the
+// current fact.
+func (c *taintCtx) exprTaint(e ast.Expr, fact taintFact) taintVal {
 	switch e := e.(type) {
 	case *ast.Ident:
-		if v, ok := c.pass.Pkg.Info.Uses[e].(*types.Var); ok {
+		if v, ok := c.pkg.Info.Uses[e].(*types.Var); ok {
 			return fact[v]
 		}
-		return false
+		return taintVal{}
 	case *ast.ParenExpr:
-		return c.exprTainted(e.X, fact)
+		return c.exprTaint(e.X, fact)
 	case *ast.BinaryExpr:
 		switch e.Op {
 		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
 			token.LAND, token.LOR:
-			return false // booleans
+			return taintVal{} // booleans
 		}
-		return c.exprTainted(e.X, fact) || c.exprTainted(e.Y, fact)
+		return joinVal(c.exprTaint(e.X, fact), c.exprTaint(e.Y, fact))
 	case *ast.UnaryExpr:
-		return c.exprTainted(e.X, fact)
+		return c.exprTaint(e.X, fact)
 	case *ast.CallExpr:
-		if isWireSource(c.pass, e, c.wrappers) {
-			return true
+		if isWireSource(c.pkg, e, c.wrappers) {
+			return taintVal{mask: taintedBit, src: e.Pos()}
 		}
 		// Conversion: T(x) is as tainted as x.
-		if tv, ok := c.pass.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return c.exprTainted(e.Args[0], fact)
+		if tv, ok := c.pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.exprTaint(e.Args[0], fact)
 		}
 		// min(x, smallConst) clamps; min/max of all-tainted stays tainted.
 		if id, ok := e.Fun.(*ast.Ident); ok {
-			if bi, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			if bi, ok := c.pkg.Info.Uses[id].(*types.Builtin); ok {
 				switch bi.Name() {
 				case "min":
+					out := taintVal{}
 					for _, a := range e.Args {
-						if !c.exprTainted(a, fact) && smallConstOrClean(c.pass, a) {
-							return false
+						av := c.exprTaint(a, fact)
+						if av.zero() && smallConstOrClean(c.pkg, a) {
+							return taintVal{}
 						}
+						out = joinVal(out, av)
 					}
-					return true
-				case "max", "len", "cap":
+					return out
+				case "max":
+					out := taintVal{}
 					for _, a := range e.Args {
-						if c.exprTainted(a, fact) {
-							return bi.Name() == "max"
-						}
+						out = joinVal(out, c.exprTaint(a, fact))
 					}
-					return false
+					return out
+				case "len", "cap":
+					return taintVal{}
 				}
+				return taintVal{}
 			}
 		}
-		return false
+		// A summarized callee's first result.
+		if specs := c.specsForCall(e, fact); specs != nil {
+			return specs[0]
+		}
+		return taintVal{}
 	}
 	// Selectors, index expressions, literals: clean.
-	return false
+	return taintVal{}
 }
 
 // smallConstOrClean reports whether e is an untainted bound that genuinely
 // clamps: any non-constant clean expression, or a constant <= taintBoundMax.
-func smallConstOrClean(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.Pkg.Info.Types[e]
+func smallConstOrClean(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
 	if !ok {
 		return false
 	}
@@ -320,14 +536,17 @@ func (c *taintCtx) refine(e Edge, out taintFact) taintFact {
 	fact := out
 	cloned := false
 	sanitize := func(id *ast.Ident) {
-		v, ok := c.pass.Pkg.Info.Uses[id].(*types.Var)
-		if !ok || !fact[v] {
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, had := fact[v]; !had {
 			return
 		}
 		if !cloned {
 			cp := make(taintFact, len(fact))
-			for w := range fact {
-				cp[w] = true
+			for w, tv := range fact {
+				cp[w] = tv
 			}
 			fact, cloned = cp, true
 		}
@@ -388,7 +607,7 @@ func (c *taintCtx) refineCond(cond ast.Expr, negated bool, fact taintFact, sanit
 		if id, ok := identOf(cond.X); ok {
 			switch op {
 			case token.LSS, token.LEQ, token.EQL:
-				if !c.exprTainted(cond.Y, fact) && smallConstOrClean(c.pass, cond.Y) {
+				if c.exprTaint(cond.Y, fact).zero() && smallConstOrClean(c.pkg, cond.Y) {
 					sanitize(id)
 				}
 			}
@@ -396,7 +615,7 @@ func (c *taintCtx) refineCond(cond ast.Expr, negated bool, fact taintFact, sanit
 		if id, ok := identOf(cond.Y); ok {
 			switch op {
 			case token.GTR, token.GEQ, token.EQL:
-				if !c.exprTainted(cond.X, fact) && smallConstOrClean(c.pass, cond.X) {
+				if c.exprTaint(cond.X, fact).zero() && smallConstOrClean(c.pkg, cond.X) {
 					sanitize(id)
 				}
 			}
@@ -426,10 +645,10 @@ func identOf(e ast.Expr) (*ast.Ident, bool) {
 }
 
 // isWireSource recognizes the decoder calls that introduce taint.
-func isWireSource(pass *Pass, call *ast.CallExpr, wrappers map[*types.Var]bool) bool {
+func isWireSource(pkg *Package, call *ast.CallExpr, wrappers map[*types.Var]bool) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
-		fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
 		if !ok {
 			return false
 		}
@@ -450,16 +669,17 @@ func isWireSource(pass *Pass, call *ast.CallExpr, wrappers map[*types.Var]bool) 
 		if wrappers == nil {
 			return false
 		}
-		if v, ok := pass.Pkg.Info.Uses[fun].(*types.Var); ok {
+		if v, ok := pkg.Info.Uses[fun].(*types.Var); ok {
 			return wrappers[v]
 		}
 	}
 	return false
 }
 
-// checkSinks reports tainted values reaching allocation-size positions in
-// any call under node (skipping nested function literals, which get their
-// own pass).
+// checkSinks reports (or records) taint reaching allocation-size
+// positions in any call under node — make/slices.Grow/io.CopyN directly,
+// or a call whose callee summary says the parameter reaches such a sink
+// (skipping nested function literals, which get their own pass).
 func (c *taintCtx) checkSinks(node ast.Node, fact taintFact) {
 	ast.Inspect(node, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -471,34 +691,79 @@ func (c *taintCtx) checkSinks(node ast.Node, fact taintFact) {
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.Ident:
-			if bi, ok := c.pass.Pkg.Info.Uses[fun].(*types.Builtin); ok && bi.Name() == "make" {
-				for _, arg := range call.Args[1:] {
-					c.reportIfTainted(arg, fact, "make size")
+			if bi, ok := c.pkg.Info.Uses[fun].(*types.Builtin); ok {
+				if bi.Name() == "make" {
+					for _, arg := range call.Args[1:] {
+						c.sinkHit(arg, fact, "make size", arg.Pos(), nil)
+					}
 				}
-			}
-		case *ast.SelectorExpr:
-			fn, ok := c.pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			switch {
-			case fn.Pkg().Path() == "slices" && fn.Name() == "Grow" && len(call.Args) >= 2:
-				c.reportIfTainted(call.Args[1], fact, "slices.Grow size")
-			case fn.Pkg().Path() == "io" && fn.Name() == "CopyN" && len(call.Args) >= 3:
-				c.reportIfTainted(call.Args[2], fact, "io.CopyN limit")
+		case *ast.SelectorExpr:
+			if fn, ok := c.pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "slices" && fn.Name() == "Grow" && len(call.Args) >= 2:
+					c.sinkHit(call.Args[1], fact, "slices.Grow size", call.Args[1].Pos(), nil)
+					return true
+				case fn.Pkg().Path() == "io" && fn.Name() == "CopyN" && len(call.Args) >= 3:
+					c.sinkHit(call.Args[2], fact, "io.CopyN limit", call.Args[2].Pos(), nil)
+					return true
+				}
+			}
+		}
+		// Arguments feeding a callee whose summary reaches a sink.
+		if callee := c.resolveCallee(call); callee != nil && callee.Summary != nil && len(callee.Summary.SinkParams) > 0 {
+			for p, sink := range callee.Summary.SinkParams {
+				if p >= len(call.Args) {
+					continue
+				}
+				desc := sink.Desc
+				if c.pass != nil {
+					desc += " inside " + shortFuncName(callee)
+				}
+				c.sinkHit(call.Args[p], fact, desc, sink.Pos, &sink)
 			}
 		}
 		return true
 	})
 }
 
-func (c *taintCtx) reportIfTainted(arg ast.Expr, fact taintFact, sink string) {
-	if !c.exprTainted(arg, fact) {
+// sinkHit handles taint arriving at one sink position: report mode flags
+// wire-derived values; collect mode records parameter-derived ones in the
+// summary being built.
+func (c *taintCtx) sinkHit(arg ast.Expr, fact taintFact, sinkDesc string, sinkPos token.Pos, callee *SinkSite) {
+	tv := c.exprTaint(arg, fact)
+	if tv.zero() {
 		return
 	}
-	c.pass.Reportf(arg.Pos(),
-		"wire-decoded integer %s flows into %s without an upper-bound check; a hostile header sizes this allocation (clamp it, or annotate with //%s wiretaint)",
-		types.ExprString(arg), sink, AllowPrefix)
+	if c.pass != nil && tv.tainted() {
+		var related []Related
+		if tv.src.IsValid() && tv.src != arg.Pos() {
+			related = append(related, c.pass.RelatedAt(tv.src, "wire-decoded here"))
+		}
+		if callee != nil && callee.Pos.IsValid() {
+			related = append(related, c.pass.RelatedAt(callee.Pos, "allocation sink inside the callee"))
+		}
+		c.pass.ReportRelated(arg.Pos(), related,
+			"wire-decoded integer %s flows into %s without an upper-bound check; a hostile header sizes this allocation (clamp it, or annotate with //%s wiretaint)",
+			types.ExprString(arg), sinkDesc, AllowPrefix)
+	}
+	if c.collect {
+		if params := tv.mask &^ taintedBit; params != 0 {
+			if c.sinkParams == nil {
+				c.sinkParams = map[int]SinkSite{}
+			}
+			for p := 0; p < 62; p++ {
+				if params&(uint64(1)<<uint(p)) == 0 {
+					continue
+				}
+				site := SinkSite{Pos: sinkPos, Desc: sinkDesc}
+				if cur, ok := c.sinkParams[p]; !ok || site.Pos < cur.Pos {
+					c.sinkParams[p] = site
+				}
+			}
+		}
+	}
 }
 
 // isIntegerVar reports whether v holds an integer (signed or unsigned),

@@ -260,6 +260,9 @@ func (s *TCPAppSession) FetchContent(req inp.AppReq) (inp.AppRep, error) {
 		if old := s.swapConn(nil, nil); old != nil {
 			_ = old.Close() // drop the dead conn before redialing
 		}
+		// sessMu serializes the whole exchange including its redial; Close
+		// takes only mu, so it is never parked behind the dial timeout.
+		//fractal:allow lockheld redial is part of the serialized exchange; Close takes only mu
 		conn, c, err := s.dial()
 		if err != nil {
 			return inp.AppRep{}, fmt.Errorf("%w; redial failed: %w", ErrSessionBroken, err)
